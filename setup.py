@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The sandboxed environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build; ``python setup.py develop``
+installs an egg-link instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro — reproduction of "Relatively Complete Counterexamples for
+Higher-Order Programs" (Nguyễn & Van Horn, PLDI 2015).
+
+Packages
+--------
+``repro.smt``
+    First-order solver (the Z3 substitute): CDCL + LIA + EUF.
+``repro.core``
+    Symbolic PCF — the paper's §3 semantics, proof relation, and
+    counterexample construction.
+``repro.lang``
+    Untyped Racket-subset front end (reader, AST, contracts, modules).
+``repro.conc``
+    Concrete interpreter used to validate counterexamples.
+``repro.scv``
+    The scaled-up tool of §4–5: symbolic execution for the untyped
+    language with contracts, dynamic typing, structs and state.
+``repro.bench``
+    The Table 1 corpus and the harness that regenerates it.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,11 @@
+"""Concrete interpreter for the untyped language (the validation oracle)."""
+
+from .interp import (
+    ContractBlame,
+    Interp,
+    InterpTimeout,
+    PrimBlame,
+    RuntimeFault,
+    UserAbort,
+    run_source,
+)

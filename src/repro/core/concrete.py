@@ -1,0 +1,65 @@
+"""Concrete evaluation of (opaque-free) SPCF programs.
+
+Used to *validate* counterexamples (§4.5: "it is necessary to first run
+the program with the concrete value set before reporting it as a
+counterexample") and as the ground-truth oracle in the soundness
+property tests.
+
+The evaluator reuses the symbolic machine: on a program with no opaque
+values, every δ-branch is decided concretely, so each state has exactly
+one successor and no solver call is ever made.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .heap import Heap, SLam, SNum, Storeable
+from .machine import Machine, State, inject
+from .syntax import Err, Expr, Lam, Loc, Num, Opq, subexprs
+
+
+class Timeout(Exception):
+    """Concrete evaluation exhausted its fuel."""
+
+
+@dataclass(frozen=True)
+class ConcreteAnswer:
+    """The outcome of a concrete run: a value storeable or an error."""
+
+    value: Optional[Storeable]
+    error: Optional[Err]
+
+    @property
+    def is_error(self) -> bool:
+        return self.error is not None
+
+    def number(self) -> Optional[int]:
+        return self.value.value if isinstance(self.value, SNum) else None
+
+
+def has_opaques(e: Expr) -> bool:
+    return any(isinstance(s, Opq) for s in subexprs(e))
+
+
+def run(program: Expr, *, fuel: int = 200_000) -> ConcreteAnswer:
+    """Evaluate a closed, opaque-free program deterministically."""
+    if has_opaques(program):
+        raise ValueError("concrete evaluation requires an opaque-free program")
+    m = Machine()
+    state = inject(program)
+    for _ in range(fuel):
+        succs = m.step(state)
+        if succs is None:
+            c = state.control
+            if isinstance(c, Err):
+                return ConcreteAnswer(None, c)
+            assert isinstance(c, Loc)
+            return ConcreteAnswer(state.heap.get(c), None)
+        if len(succs) != 1:  # pragma: no cover - determinism guard
+            raise AssertionError(
+                "concrete evaluation branched; opaque value leaked in"
+            )
+        state = succs[0]
+    raise Timeout(f"no answer within {fuel} steps")

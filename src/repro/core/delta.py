@@ -1,0 +1,268 @@
+"""The primitive-operation relation δ — paper Fig. 3.
+
+δ relates ``(Σ, O, L...)`` to results.  It is a *relation*, not a
+function: primitives behave nondeterministically on opaque values, and
+each branch refines the heap with the assumption taken.  For example
+``div`` by an opaque denominator either errors (refining the denominator
+to zero) or returns an opaque quotient (refining it nonzero and
+annotating the result with ``(≡ L1 / L2)``).
+
+Unlike the strong update ``Σ[L ↦ 0]`` shown in Fig. 3 for the true
+branch of ``zero?``, we always *add* a refinement instead of overwriting:
+the worked example of §2 keeps both ``x = 0`` and ``x = (100 - L4)`` on
+the heap, and dropping previously recorded equalities would lose exactly
+the cross-location constraints counterexample construction needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .heap import (
+    HConst,
+    Heap,
+    HLoc,
+    HOp,
+    HTerm,
+    PEq,
+    PLe,
+    PLt,
+    PNot,
+    Pred,
+    PZero,
+    SNum,
+    SOpq,
+    Storeable,
+)
+from .proof import ProofSystem, Verdict
+from .syntax import Loc, NAT
+
+
+@dataclass(frozen=True)
+class DeltaResult:
+    """One branch of δ: either an error, or a storeable to allocate."""
+
+    heap: Heap
+    value: Optional[Storeable] = None
+    error: bool = False
+
+    @staticmethod
+    def ok(heap: Heap, value: Storeable) -> "DeltaResult":
+        return DeltaResult(heap, value=value)
+
+    @staticmethod
+    def err(heap: Heap) -> "DeltaResult":
+        return DeltaResult(heap, error=True)
+
+
+def _num(heap: Heap, l: Loc) -> Optional[int]:
+    s = heap.get(l)
+    return s.value if isinstance(s, SNum) else None
+
+
+def _refine_subject(heap: Heap, l: Loc, p: Pred) -> Heap:
+    """Attach ``p`` to ``l`` if opaque; no-op for concrete subjects (the
+    predicate is then already decided and recorded implicitly)."""
+    if isinstance(heap.get(l), SOpq):
+        return heap.refine(l, p)
+    return heap
+
+
+# ---------------------------------------------------------------------------
+# zero?  — the canonical three-way branch
+# ---------------------------------------------------------------------------
+
+
+def delta_zero(proof: ProofSystem, heap: Heap, l: Loc) -> list[DeltaResult]:
+    """``zero? L``: 1 when definitely zero, 0 when definitely nonzero,
+    both branches (with refinements) when ambiguous."""
+    verdict = proof.check(heap, l, PZero())
+    if verdict is Verdict.PROVED:
+        return [DeltaResult.ok(heap, SNum(1))]
+    if verdict is Verdict.REFUTED:
+        return [DeltaResult.ok(heap, SNum(0))]
+    return [
+        DeltaResult.ok(_refine_subject(heap, l, PZero()), SNum(1)),
+        DeltaResult.ok(_refine_subject(heap, l, PNot(PZero())), SNum(0)),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Total arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _arith(
+    op: str, compute: Callable[[int, int], int]
+) -> Callable[[ProofSystem, Heap, Loc, Loc], list[DeltaResult]]:
+    def handler(
+        proof: ProofSystem, heap: Heap, l1: Loc, l2: Loc
+    ) -> list[DeltaResult]:
+        v1, v2 = _num(heap, l1), _num(heap, l2)
+        if v1 is not None and v2 is not None:
+            return [DeltaResult.ok(heap, SNum(compute(v1, v2)))]
+        term = HOp(op, (HLoc(l1), HLoc(l2)))
+        return [DeltaResult.ok(heap, SOpq(NAT, (PEq(term),)))]
+
+    return handler
+
+
+delta_plus = _arith("+", lambda a, b: a + b)
+delta_minus = _arith("-", lambda a, b: a - b)
+delta_times = _arith("*", lambda a, b: a * b)
+
+
+def delta_add1(proof: ProofSystem, heap: Heap, l: Loc) -> list[DeltaResult]:
+    v = _num(heap, l)
+    if v is not None:
+        return [DeltaResult.ok(heap, SNum(v + 1))]
+    term = HOp("+", (HLoc(l), HConst(1)))
+    return [DeltaResult.ok(heap, SOpq(NAT, (PEq(term),)))]
+
+
+def delta_sub1(proof: ProofSystem, heap: Heap, l: Loc) -> list[DeltaResult]:
+    v = _num(heap, l)
+    if v is not None:
+        return [DeltaResult.ok(heap, SNum(v - 1))]
+    term = HOp("-", (HLoc(l), HConst(1)))
+    return [DeltaResult.ok(heap, SOpq(NAT, (PEq(term),)))]
+
+
+# ---------------------------------------------------------------------------
+# Partial arithmetic: div / mod
+# ---------------------------------------------------------------------------
+
+
+def _divlike(
+    op: str, compute: Callable[[int, int], int]
+) -> Callable[[ProofSystem, Heap, Loc, Loc], list[DeltaResult]]:
+    def handler(
+        proof: ProofSystem, heap: Heap, l1: Loc, l2: Loc
+    ) -> list[DeltaResult]:
+        v1, v2 = _num(heap, l1), _num(heap, l2)
+        if v2 is not None:
+            if v2 == 0:
+                return [DeltaResult.err(heap)]
+            if v1 is not None:
+                return [DeltaResult.ok(heap, SNum(compute(v1, v2)))]
+            term = HOp(op, (HLoc(l1), HLoc(l2)))
+            return [DeltaResult.ok(heap, SOpq(NAT, (PEq(term),)))]
+        # Opaque denominator: consult zero?-ness.
+        verdict = proof.check(heap, l2, PZero())
+        if verdict is Verdict.PROVED:
+            return [DeltaResult.err(heap)]
+        term = HOp(op, (HLoc(l1), HLoc(l2)))
+        ok_value = SOpq(NAT, (PEq(term),))
+        if verdict is Verdict.REFUTED:
+            return [DeltaResult.ok(heap, ok_value)]
+        return [
+            DeltaResult.err(_refine_subject(heap, l2, PZero())),
+            DeltaResult.ok(
+                _refine_subject(heap, l2, PNot(PZero())), ok_value
+            ),
+        ]
+
+    return handler
+
+
+delta_div = _divlike("div", lambda a, b: a // b)
+delta_mod = _divlike("mod", lambda a, b: a % abs(b))
+
+
+# ---------------------------------------------------------------------------
+# Comparisons (PCF booleans: 1 true / 0 false)
+# ---------------------------------------------------------------------------
+
+
+def _flip_for_rhs(op: str, v1: int) -> Pred:
+    """The predicate to attach to the *right* operand when only it is
+    opaque: ``v1 op x`` rewritten with ``x`` as subject."""
+    if op == "=?":
+        return PEq(HConst(v1))
+    if op == "<?":  # v1 < x  ⇔  ¬(x <= v1)
+        return PNot(PLe(HConst(v1)))
+    if op == "<=?":  # v1 <= x  ⇔  ¬(x < v1)
+        return PNot(PLt(HConst(v1)))
+    raise ValueError(op)
+
+
+def _pred_for_lhs(op: str, l2: Loc) -> Pred:
+    if op == "=?":
+        return PEq(HLoc(l2))
+    if op == "<?":
+        return PLt(HLoc(l2))
+    if op == "<=?":
+        return PLe(HLoc(l2))
+    raise ValueError(op)
+
+
+def _compare(
+    op: str, compute: Callable[[int, int], bool]
+) -> Callable[[ProofSystem, Heap, Loc, Loc], list[DeltaResult]]:
+    def handler(
+        proof: ProofSystem, heap: Heap, l1: Loc, l2: Loc
+    ) -> list[DeltaResult]:
+        v1, v2 = _num(heap, l1), _num(heap, l2)
+        if v1 is not None and v2 is not None:
+            return [DeltaResult.ok(heap, SNum(1 if compute(v1, v2) else 0))]
+        if isinstance(heap.get(l1), SOpq):
+            subject, pred = l1, _pred_for_lhs(op, l2)
+        else:
+            assert v1 is not None
+            subject, pred = l2, _flip_for_rhs(op, v1)
+        verdict = proof.check(heap, subject, pred)
+        if verdict is Verdict.PROVED:
+            return [DeltaResult.ok(heap, SNum(1))]
+        if verdict is Verdict.REFUTED:
+            return [DeltaResult.ok(heap, SNum(0))]
+        return [
+            DeltaResult.ok(_refine_subject(heap, subject, pred), SNum(1)),
+            DeltaResult.ok(
+                _refine_subject(heap, subject, PNot(pred)), SNum(0)
+            ),
+        ]
+
+    return handler
+
+
+delta_eq = _compare("=?", lambda a, b: a == b)
+delta_lt = _compare("<?", lambda a, b: a < b)
+delta_le = _compare("<=?", lambda a, b: a <= b)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch table
+# ---------------------------------------------------------------------------
+
+UNARY = {
+    "zero?": delta_zero,
+    "add1": delta_add1,
+    "sub1": delta_sub1,
+}
+
+BINARY = {
+    "+": delta_plus,
+    "-": delta_minus,
+    "*": delta_times,
+    "div": delta_div,
+    "mod": delta_mod,
+    "=?": delta_eq,
+    "<?": delta_lt,
+    "<=?": delta_le,
+}
+
+
+def delta(
+    proof: ProofSystem, heap: Heap, op: str, locs: tuple[Loc, ...]
+) -> list[DeltaResult]:
+    """All δ-branches for ``op`` applied to ``locs`` under ``heap``."""
+    if op in UNARY:
+        if len(locs) != 1:
+            raise ValueError(f"{op} expects 1 argument")
+        return UNARY[op](proof, heap, locs[0])
+    if op in BINARY:
+        if len(locs) != 2:
+            raise ValueError(f"{op} expects 2 arguments")
+        return BINARY[op](proof, heap, locs[0], locs[1])
+    raise ValueError(f"unknown primitive {op}")

@@ -1,0 +1,140 @@
+"""Pretty-printing of SPCF terms, heaps and counterexamples.
+
+The dataclass ``repr``s are debugging-grade; this module produces the
+compact surface syntax used in the paper's examples and in the tool's
+reports (``fun f → (f (fun n → 100) 0)``).
+"""
+
+from __future__ import annotations
+
+from .heap import (
+    Heap,
+    HConst,
+    HLoc,
+    HOp,
+    HTerm,
+    PEq,
+    PLe,
+    PLt,
+    PNot,
+    Pred,
+    PZero,
+    SCase,
+    SLam,
+    SNum,
+    SOpq,
+    Storeable,
+)
+from .syntax import (
+    App,
+    Err,
+    Expr,
+    Fix,
+    FunType,
+    If,
+    Lam,
+    Loc,
+    NatType,
+    Num,
+    Opq,
+    PrimApp,
+    Ref,
+    Type,
+)
+
+
+def pp_type(t: Type) -> str:
+    if isinstance(t, NatType):
+        return "nat"
+    assert isinstance(t, FunType)
+    dom = pp_type(t.dom)
+    if isinstance(t.dom, FunType):
+        dom = f"({dom})"
+    return f"{dom} → {pp_type(t.rng)}"
+
+
+def pp(e: Expr) -> str:
+    """Surface-syntax rendering of an expression."""
+    if isinstance(e, Num):
+        return str(e.value)
+    if isinstance(e, Ref):
+        return e.name
+    if isinstance(e, Loc):
+        return e.name
+    if isinstance(e, Err):
+        return f"error:{e.op}@{e.label}"
+    if isinstance(e, Opq):
+        return f"•[{pp_type(e.type)}]"
+    if isinstance(e, Lam):
+        return f"(fun {e.var} → {pp(e.body)})"
+    if isinstance(e, Fix):
+        return f"(fix {e.var} → {pp(e.body)})"
+    if isinstance(e, App):
+        # Flatten curried application chains.
+        parts = []
+        cur: Expr = e
+        while isinstance(cur, App):
+            parts.append(cur.arg)
+            cur = cur.fn
+        parts.append(cur)
+        parts.reverse()
+        return "(" + " ".join(pp(p) for p in parts) + ")"
+    if isinstance(e, If):
+        return f"(if {pp(e.test)} {pp(e.then)} {pp(e.orelse)})"
+    if isinstance(e, PrimApp):
+        return "(" + e.op + " " + " ".join(pp(a) for a in e.args) + ")"
+    raise TypeError(f"cannot pretty-print {e!r}")
+
+
+def pp_hterm(t: HTerm) -> str:
+    if isinstance(t, HConst):
+        return str(t.value)
+    if isinstance(t, HLoc):
+        return t.loc.name
+    assert isinstance(t, HOp)
+    return "(" + t.op + " " + " ".join(pp_hterm(a) for a in t.args) + ")"
+
+
+def pp_pred(p: Pred) -> str:
+    if isinstance(p, PZero):
+        return "zero?"
+    if isinstance(p, PEq):
+        return f"(= x {pp_hterm(p.term)})"
+    if isinstance(p, PLt):
+        return f"(< x {pp_hterm(p.term)})"
+    if isinstance(p, PLe):
+        return f"(<= x {pp_hterm(p.term)})"
+    assert isinstance(p, PNot)
+    return f"(not {pp_pred(p.arg)})"
+
+
+def pp_storeable(s: Storeable) -> str:
+    if isinstance(s, SNum):
+        return str(s.value)
+    if isinstance(s, SLam):
+        return pp(s.lam)
+    if isinstance(s, SOpq):
+        if not s.refinements:
+            return f"•[{pp_type(s.type)}]"
+        preds = ", ".join(pp_pred(p) for p in s.refinements)
+        return f"•{{{pp_type(s.type)}, {preds}}}"
+    assert isinstance(s, SCase)
+    entries = " ".join(f"[{k.name} ↦ {v.name}]" for k, v in s.mapping)
+    return f"(case {entries})"
+
+
+def pp_heap(heap: Heap) -> str:
+    lines = [f"  {l.name} ↦ {pp_storeable(s)}" for l, s in heap.items()]
+    return "[\n" + "\n".join(lines) + "\n]"
+
+
+def pp_counterexample(cex) -> str:
+    """Render a counterexample as the paper does: one binding per opaque."""
+    lines = []
+    for label, expr in cex.bindings.items():
+        lines.append(f"• [{label}] = {pp(expr)}")
+    status = {True: "validated", False: "NOT validated", None: "unchecked"}[
+        cex.validated
+    ]
+    lines.append(f"breaks with {cex.err.op} at {cex.err.label} ({status})")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""The proof relation ``Σ ⊢ L : P`` — paper Fig. 5.
+
+Three-valued judgement deciding whether the value at location ``L``
+satisfies predicate ``P`` under the assumptions recorded in the heap:
+
+* ``PROVED``  — ``{{Σ}} ⇒ {{L : P}}`` is valid: every instantiation
+  satisfies ``P``;
+* ``REFUTED`` — ``{{Σ}} ∧ {{L : P}}`` is unsatisfiable: every
+  instantiation fails ``P``;
+* ``AMBIG``   — neither; execution must branch.
+
+Precision (not soundness) depends on this relation: answering AMBIG for
+everything would still be sound but would explore spurious paths.  Fast
+syntactic checks on concrete numbers avoid most solver calls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..smt import Result, Solver, check_sat, mk_and, mk_not
+from .heap import (
+    HConst,
+    Heap,
+    HLoc,
+    HOp,
+    HTerm,
+    PEq,
+    PLe,
+    PLt,
+    PNot,
+    Pred,
+    PZero,
+    SNum,
+    SOpq,
+)
+from .syntax import Loc
+from .translate import loc_var, translate_heap, translate_pred
+
+
+class Verdict(enum.Enum):
+    PROVED = "!"
+    REFUTED = "x"
+    AMBIG = "?"
+
+
+def _eval_hterm_concrete(t: HTerm, heap: Heap) -> Optional[int]:
+    """Evaluate a heap term if every location it mentions is concrete."""
+    if isinstance(t, HConst):
+        return t.value
+    if isinstance(t, HLoc):
+        s = heap.get(t.loc)
+        return s.value if isinstance(s, SNum) else None
+    if isinstance(t, HOp):
+        args = [_eval_hterm_concrete(a, heap) for a in t.args]
+        if any(a is None for a in args):
+            return None
+        a = args
+        if t.op == "+":
+            return sum(a)  # type: ignore[arg-type]
+        if t.op == "-":
+            return a[0] - a[1]  # type: ignore[operator]
+        if t.op == "*":
+            out = 1
+            for v in a:
+                out *= v  # type: ignore[assignment]
+            return out
+        if t.op == "div":
+            if a[1] == 0:
+                return None
+            return a[0] // a[1]  # type: ignore[operator]
+        if t.op == "mod":
+            if a[1] == 0:
+                return None
+            return a[0] % abs(a[1])  # type: ignore[operator, arg-type]
+    return None
+
+
+def _check_concrete(value: int, p: Pred, heap: Heap) -> Optional[bool]:
+    """Decide a predicate on a concrete number without the solver, when
+    the predicate's heap terms are themselves concrete."""
+    if isinstance(p, PZero):
+        return value == 0
+    if isinstance(p, (PEq, PLt, PLe)):
+        rhs = _eval_hterm_concrete(p.term, heap)
+        if rhs is None:
+            return None
+        if isinstance(p, PEq):
+            return value == rhs
+        if isinstance(p, PLt):
+            return value < rhs
+        return value <= rhs
+    if isinstance(p, PNot):
+        sub = _check_concrete(value, p.arg, heap)
+        return None if sub is None else (not sub)
+    return None
+
+
+class ProofSystem:
+    """Decides ``Σ ⊢ L : P`` using syntactic fast paths and the solver.
+
+    A single instance caches nothing across heaps (heaps are immutable
+    values), but keeps solver configuration (translation mode) and counts
+    queries for the evaluation harness.
+    """
+
+    def __init__(self, *, mode: str = "implications") -> None:
+        self.mode = mode
+        self.queries = 0
+        self.solver_queries = 0
+
+    def check(self, heap: Heap, l: Loc, p: Pred) -> Verdict:
+        self.queries += 1
+        s = heap.get(l)
+        # Fast path: concrete subject.
+        if isinstance(s, SNum):
+            v = _check_concrete(s.value, p, heap)
+            if v is True:
+                return Verdict.PROVED
+            if v is False:
+                return Verdict.REFUTED
+        # Fast path: the refinement is already recorded verbatim.
+        if isinstance(s, SOpq):
+            if p in s.refinements:
+                return Verdict.PROVED
+            if PNot(p) in s.refinements:
+                return Verdict.REFUTED
+            if isinstance(p, PNot) and p.arg in s.refinements:
+                return Verdict.REFUTED
+        # Solver path (Fig. 5).
+        self.solver_queries += 1
+        phi = translate_heap(heap, mode=self.mode)
+        psi = translate_pred(p, loc_var(l))
+        # {Σ} ∧ ¬{L:P} unsat  ⇒  valid implication  ⇒  PROVED
+        neg = check_sat(phi, mk_not(psi))
+        if neg is Result.UNSAT:
+            return Verdict.PROVED
+        pos = check_sat(phi, psi)
+        if pos is Result.UNSAT:
+            return Verdict.REFUTED
+        return Verdict.AMBIG

@@ -1,0 +1,98 @@
+"""Exploration of the nondeterministic transition system.
+
+The tool "finds bugs by performing a simple breadth-first search on the
+execution graph, then stops and reports on the first error encountered"
+(§5.3).  We expose the whole frontier as a generator so callers can
+enumerate *all* errors (the completeness experiments need every seeded
+bug) or stop at the first.
+
+No abstraction/widening is performed (§4.5): for counterexample
+generation on erroneous programs the concrete-ish search terminates at
+the error, and correct programs in the corpus terminate on their own.
+A step budget bounds runaway executions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .machine import Machine, State, inject
+from .syntax import Err, Expr, Loc
+
+
+@dataclass
+class SearchStats:
+    states_explored: int = 0
+    answers: int = 0
+    errors: int = 0
+    truncated: bool = False
+
+
+@dataclass
+class SearchResult:
+    """A final state reached by the search."""
+
+    state: State
+
+    @property
+    def is_error(self) -> bool:
+        return isinstance(self.state.control, Err)
+
+    @property
+    def error(self) -> Optional[Err]:
+        c = self.state.control
+        return c if isinstance(c, Err) else None
+
+
+def explore(
+    program: Expr,
+    *,
+    machine: Optional[Machine] = None,
+    max_states: int = 50_000,
+    stats: Optional[SearchStats] = None,
+) -> Iterator[SearchResult]:
+    """BFS over ⟨E, Σ⟩ states, yielding answers (locations and errors)."""
+    m = machine or Machine()
+    st = stats if stats is not None else SearchStats()
+    frontier: deque[State] = deque([inject(program)])
+    while frontier:
+        if st.states_explored >= max_states:
+            st.truncated = True
+            return
+        state = frontier.popleft()
+        st.states_explored += 1
+        succs = m.step(state)
+        if succs is None:
+            st.answers += 1
+            if state.is_error:
+                st.errors += 1
+            yield SearchResult(state)
+            continue
+        frontier.extend(succs)
+
+
+def find_errors(
+    program: Expr,
+    *,
+    machine: Optional[Machine] = None,
+    max_states: int = 50_000,
+    stats: Optional[SearchStats] = None,
+) -> Iterator[SearchResult]:
+    """Yield only the error answers reachable from ``program``."""
+    for r in explore(
+        program, machine=machine, max_states=max_states, stats=stats
+    ):
+        if r.is_error:
+            yield r
+
+
+def first_error(
+    program: Expr,
+    *,
+    machine: Optional[Machine] = None,
+    max_states: int = 50_000,
+) -> Optional[SearchResult]:
+    """The first error found in BFS order, or None."""
+    return next(iter(find_errors(program, machine=machine, max_states=max_states)), None)

@@ -1,0 +1,115 @@
+"""Simple type checker for SPCF.
+
+The paper omits the (straightforward) typing rules and assumes all
+programs are well-typed; we implement them because the opaque-application
+rules dispatch on static types (AppOpq1 needs a ``nat`` domain, AppOpq3 a
+function range), so ill-typed inputs would silently derail the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .syntax import (
+    App,
+    Err,
+    Expr,
+    Fix,
+    FunType,
+    If,
+    Lam,
+    Loc,
+    NAT,
+    Num,
+    Opq,
+    PrimApp,
+    Ref,
+    Type,
+)
+
+
+class TypeError_(Exception):
+    """An SPCF type error (named to avoid clobbering the builtin)."""
+
+
+# op name -> (argument types, result type)
+PRIM_SIGS: dict[str, tuple[tuple[Type, ...], Type]] = {
+    "zero?": ((NAT,), NAT),
+    "add1": ((NAT,), NAT),
+    "sub1": ((NAT,), NAT),
+    "+": ((NAT, NAT), NAT),
+    "-": ((NAT, NAT), NAT),
+    "*": ((NAT, NAT), NAT),
+    "div": ((NAT, NAT), NAT),
+    "mod": ((NAT, NAT), NAT),
+    "=?": ((NAT, NAT), NAT),
+    "<?": ((NAT, NAT), NAT),
+    "<=?": ((NAT, NAT), NAT),
+}
+
+
+def type_of(e: Expr, env: dict[str, Type] | None = None) -> Type:
+    """Infer the type of ``e`` under ``env``; raises :class:`TypeError_`."""
+    env = env or {}
+    if isinstance(e, Num):
+        return NAT
+    if isinstance(e, Ref):
+        if e.name not in env:
+            raise TypeError_(f"unbound variable {e.name}")
+        return env[e.name]
+    if isinstance(e, Opq):
+        return e.type
+    if isinstance(e, Lam):
+        body = type_of(e.body, {**env, e.var: e.var_type})
+        return FunType(e.var_type, body)
+    if isinstance(e, Fix):
+        body = type_of(e.body, {**env, e.var: e.var_type})
+        if body != e.var_type:
+            raise TypeError_(
+                f"fix body has type {body!r}, annotation says {e.var_type!r}"
+            )
+        return e.var_type
+    if isinstance(e, App):
+        fn = type_of(e.fn, env)
+        arg = type_of(e.arg, env)
+        if not isinstance(fn, FunType):
+            raise TypeError_(f"applying non-function of type {fn!r}")
+        if fn.dom != arg:
+            raise TypeError_(
+                f"argument type {arg!r} does not match domain {fn.dom!r}"
+            )
+        return fn.rng
+    if isinstance(e, If):
+        test = type_of(e.test, env)
+        if test != NAT:
+            raise TypeError_(f"if-test must be nat, got {test!r}")
+        then = type_of(e.then, env)
+        orelse = type_of(e.orelse, env)
+        if then != orelse:
+            raise TypeError_(
+                f"if-branches disagree: {then!r} vs {orelse!r}"
+            )
+        return then
+    if isinstance(e, PrimApp):
+        if e.op not in PRIM_SIGS:
+            raise TypeError_(f"unknown primitive {e.op}")
+        arg_types, result = PRIM_SIGS[e.op]
+        if len(e.args) != len(arg_types):
+            raise TypeError_(
+                f"{e.op} expects {len(arg_types)} args, got {len(e.args)}"
+            )
+        for i, (a, want) in enumerate(zip(e.args, arg_types)):
+            got = type_of(a, env)
+            if got != want:
+                raise TypeError_(
+                    f"{e.op} argument {i} has type {got!r}, expected {want!r}"
+                )
+        return result
+    if isinstance(e, (Loc, Err)):
+        raise TypeError_("internal answer forms are not typeable source syntax")
+    raise TypeError_(f"cannot type {e!r}")
+
+
+def check_program(e: Expr) -> Type:
+    """Type-check a closed source program."""
+    return type_of(e, {})

@@ -1,0 +1,40 @@
+"""Untyped Racket-subset front end: reader, AST, parser, values, prims."""
+
+from .ast import (
+    Module,
+    Program,
+    Provide,
+    Quote,
+    StructDef,
+    UApp,
+    UBegin,
+    UExpr,
+    UIf,
+    ULam,
+    ULetrec,
+    UOpaque,
+    USet,
+    UVar,
+    fresh_label,
+)
+from .parser import ParseError, parse_expr_string, parse_module, parse_program
+from .prims import PrimError, UserError, base_primitives
+from .runtime import Cell, Closure, Env, Guarded, Prim, StructCtor, is_applicable
+from .sexp import ReadError, Symbol, read_all, read_one, write_datum
+from .values import (
+    ANY_C,
+    Box,
+    Contract,
+    NIL,
+    Pair,
+    StructType,
+    StructVal,
+    VOID,
+    from_pylist,
+    is_integer,
+    is_number,
+    is_real,
+    is_truthy,
+    racket_equal,
+    to_pylist,
+)

@@ -1,0 +1,124 @@
+"""Applicable run-time values shared by the interpreters.
+
+``Closure``/``Prim``/``StructCtor``/``Guarded`` are the four applicable
+value shapes; ``Guarded`` is the contract wrapper produced by monitoring
+a higher-order contract (the function-contract proxy of Findler &
+Felleisen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .ast import ULam
+from .values import Contract, DepFuncContract, FuncContract, StructType
+
+
+class Cell:
+    """A mutable binding cell (for ``set!`` and ``letrec``)."""
+
+    __slots__ = ("value",)
+
+    UNDEFINED = object()
+
+    def __init__(self, value: object = UNDEFINED) -> None:
+        self.value = value
+
+    @property
+    def is_defined(self) -> bool:
+        return self.value is not Cell.UNDEFINED
+
+
+class Env:
+    """A chained environment of mutable cells."""
+
+    __slots__ = ("cells", "parent")
+
+    def __init__(self, parent: Optional["Env"] = None) -> None:
+        self.cells: dict[str, Cell] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Cell:
+        env: Optional[Env] = self
+        while env is not None:
+            cell = env.cells.get(name)
+            if cell is not None:
+                return cell
+            env = env.parent
+        raise KeyError(f"unbound variable {name}")
+
+    def define(self, name: str, value: object) -> Cell:
+        cell = Cell(value)
+        self.cells[name] = cell
+        return cell
+
+    def child(self) -> "Env":
+        return Env(self)
+
+
+@dataclass
+class Closure:
+    """A lambda paired with its defining environment."""
+
+    lam: ULam
+    env: Env
+
+    @property
+    def name(self) -> str:
+        return self.lam.name or "λ"
+
+    def __repr__(self) -> str:
+        return f"#<procedure:{self.name}>"
+
+
+@dataclass
+class Prim:
+    """A named primitive."""
+
+    name: str
+    fn: Callable
+
+    def __repr__(self) -> str:
+        return f"#<procedure:{self.name}>"
+
+
+@dataclass
+class StructCtor:
+    """A struct constructor (applicable, and carries its type for
+    ``struct/c``)."""
+
+    struct_type: StructType
+
+    @property
+    def name(self) -> str:
+        return self.struct_type.name
+
+    def __repr__(self) -> str:
+        return f"#<procedure:{self.struct_type.name}>"
+
+
+@dataclass
+class Guarded:
+    """A value wrapped in a higher-order contract with blame parties.
+
+    Applying a ``Guarded`` monitors arguments against the domains with
+    the parties *swapped* (the caller is responsible for arguments) and
+    the result against the range with the original parties.
+    """
+
+    contract: object  # FuncContract | DepFuncContract
+    inner: object
+    pos: str  # blamed if the value misbehaves
+    neg: str  # blamed if the context misbehaves
+
+    @property
+    def name(self) -> str:
+        return getattr(self.inner, "name", "guarded")
+
+    def __repr__(self) -> str:
+        return f"#<guarded:{self.name}>"
+
+
+def is_applicable(v: object) -> bool:
+    return isinstance(v, (Closure, Prim, StructCtor, Guarded))

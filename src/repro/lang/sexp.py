@@ -1,0 +1,159 @@
+"""S-expression reader for the Racket subset.
+
+Produces plain Python data: lists for parenthesised forms, and atoms —
+``Symbol``, ``int``, ``fractions.Fraction``, ``float``, ``complex``,
+``str``, ``bool``.  The numeric literals cover the slice of Racket's
+tower the benchmarks need: exact integers and rationals, inexact
+decimals, and complex literals like ``0+1i`` (which the paper's §5.2
+counterexamples depend on).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Union
+
+
+class ReadError(Exception):
+    """Malformed s-expression input."""
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """An interned-by-equality symbol."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Datum = Union[Symbol, int, Fraction, float, complex, str, bool, list]
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>       \s+ | ;[^\n]*        )  # whitespace / line comment
+  | (?P<lparen>   [(\[]                )
+  | (?P<rparen>   [)\]]                )
+  | (?P<quote>    '                    )
+  | (?P<string>   "(?:[^"\\]|\\.)*"    )
+  | (?P<bool>     \#t\b | \#f\b | \#true\b | \#false\b )
+  | (?P<atom>     [^\s()\[\];"']+      )
+    """,
+    re.VERBOSE,
+)
+
+_COMPLEX = re.compile(r"^([+-]?\d+(?:\.\d+)?(?:/\d+)?)?([+-]\d*(?:\.\d+)?(?:/\d+)?)i$")
+
+
+def _parse_real(text: str) -> Union[int, Fraction, float]:
+    if "/" in text:
+        num, den = text.split("/")
+        return Fraction(int(num), int(den))
+    if "." in text or "e" in text or "E" in text:
+        return float(text)
+    return int(text)
+
+
+def parse_atom(text: str) -> Datum:
+    """Classify a bare token as a number or a symbol."""
+    m = _COMPLEX.match(text)
+    if m:
+        real = _parse_real(m.group(1)) if m.group(1) else 0
+        imag_text = m.group(2)
+        if imag_text in ("+", "-"):
+            imag_text += "1"
+        imag = _parse_real(imag_text)
+        return complex(float(real), float(imag))
+    try:
+        return _parse_real(text)
+    except (ValueError, ZeroDivisionError):
+        return Symbol(text)
+
+
+def tokenize(source: str) -> Iterator[tuple[str, str]]:
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN.match(source, pos)
+        if m is None:
+            raise ReadError(f"unreadable input at offset {pos}: {source[pos:pos+20]!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        assert kind is not None
+        if kind == "ws":
+            continue
+        yield kind, m.group()
+
+
+def _unescape(s: str) -> str:
+    body = s[1:-1]
+    return (
+        body.replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )
+
+
+def read_all(source: str) -> list[Datum]:
+    """Read every datum in ``source``."""
+    stack: list[list[Datum]] = [[]]
+    quotes: list[int] = []  # nesting depths at which a quote is pending
+
+    def emit(d: Datum) -> None:
+        while quotes and quotes[-1] == len(stack):
+            quotes.pop()
+            d = [Symbol("quote"), d]
+        stack[-1].append(d)
+
+    for kind, text in tokenize(source):
+        if kind == "lparen":
+            stack.append([])
+        elif kind == "rparen":
+            if len(stack) == 1:
+                raise ReadError("unbalanced right parenthesis")
+            done = stack.pop()
+            emit(done)
+        elif kind == "quote":
+            quotes.append(len(stack))
+        elif kind == "string":
+            emit(_unescape(text))
+        elif kind == "bool":
+            emit(text in ("#t", "#true"))
+        elif kind == "atom":
+            emit(parse_atom(text))
+        else:  # pragma: no cover - regex exhausts kinds
+            raise ReadError(f"unknown token kind {kind}")
+    if len(stack) != 1:
+        raise ReadError("unbalanced left parenthesis")
+    if quotes:
+        raise ReadError("dangling quote")
+    return stack[0]
+
+
+def read_one(source: str) -> Datum:
+    """Read exactly one datum."""
+    data = read_all(source)
+    if len(data) != 1:
+        raise ReadError(f"expected one datum, got {len(data)}")
+    return data[0]
+
+
+def write_datum(d: Datum) -> str:
+    """Render a datum back to source syntax."""
+    if isinstance(d, bool):
+        return "#t" if d else "#f"
+    if isinstance(d, list):
+        return "(" + " ".join(write_datum(x) for x in d) + ")"
+    if isinstance(d, str):
+        escaped = d.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(d, complex):
+        re_part = int(d.real) if d.real == int(d.real) else d.real
+        im_part = int(d.imag) if d.imag == int(d.imag) else d.imag
+        sign = "+" if d.imag >= 0 else ""
+        return f"{re_part}{sign}{im_part}i"
+    return str(d)

@@ -1,0 +1,317 @@
+"""Run-time values of the untyped language.
+
+The numeric tower ("tower-lite") distinguishes, like Racket:
+
+* exact integers (``int``), exact rationals (``fractions.Fraction``),
+* inexact reals (``float``),
+* complex numbers (``complex``).
+
+The §5.2 counterexamples (``argmin``, ``posn``) hinge on ``number?``
+accepting complex values while ``<`` requires reals, so the tower is
+load-bearing for the reproduction, not decoration.
+
+Booleans are Python ``bool`` (checked before ``int`` everywhere, since
+``bool`` subclasses ``int``); Racket truthiness: everything except
+``#f`` is true.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Optional, Union
+
+from .sexp import Symbol
+
+Number = Union[int, Fraction, float, complex]
+
+
+class Nil:
+    """The empty list (singleton)."""
+
+    _instance: Optional["Nil"] = None
+
+    def __new__(cls) -> "Nil":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "'()"
+
+
+NIL = Nil()
+
+
+@dataclass(frozen=True)
+class Pair:
+    """An immutable cons cell (Racket pairs are immutable)."""
+
+    car: object
+    cdr: object
+
+    def __repr__(self) -> str:
+        return f"(cons {self.car!r} {self.cdr!r})"
+
+
+class Void:
+    """The result of side-effecting operations (singleton)."""
+
+    _instance: Optional["Void"] = None
+
+    def __new__(cls) -> "Void":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "#<void>"
+
+
+VOID = Void()
+
+
+@dataclass(frozen=True)
+class StructType:
+    name: str
+    fields: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"#<struct-type:{self.name}>"
+
+
+@dataclass(frozen=True)
+class StructVal:
+    type: StructType
+    values: tuple[object, ...]
+
+    def __repr__(self) -> str:
+        inner = " ".join(map(repr, self.values))
+        return f"({self.type.name} {inner})"
+
+
+class Box:
+    """A mutable cell — the one mutable value (used by the concrete
+    interpreter; the symbolic engine models boxes through its heap)."""
+
+    __slots__ = ("content",)
+
+    def __init__(self, content: object) -> None:
+        self.content = content
+
+    def __repr__(self) -> str:
+        return f"(box {self.content!r})"
+
+
+# ---------------------------------------------------------------------------
+# Contracts (first-class values, §4.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Contract:
+    def __post_init__(self) -> None:  # pragma: no cover - abstract guard
+        if type(self) is Contract:
+            raise TypeError("Contract is abstract")
+
+
+@dataclass(frozen=True)
+class FlatContract(Contract):
+    """A predicate used as a contract; ``pred`` is any applicable value."""
+
+    pred: object
+    name: str = "flat"
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AnyContract(Contract):
+    def __repr__(self) -> str:
+        return "any/c"
+
+
+ANY_C = AnyContract()
+
+
+@dataclass(frozen=True)
+class FuncContract(Contract):
+    """``(-> dom ... rng)`` — a higher-order function contract."""
+
+    doms: tuple[Contract, ...]
+    rng: Contract
+
+    def __repr__(self) -> str:
+        inner = " ".join(map(repr, self.doms + (self.rng,)))
+        return f"(-> {inner})"
+
+
+@dataclass(frozen=True)
+class DepFuncContract(Contract):
+    """``(->d (x ...) dom ... rng-maker)`` — dependent range: the range
+    contract is computed by applying ``rng_maker`` (a closure) to the
+    actual arguments.  This is how the paper's ``posn/c`` interface
+    (range depends on the message) is expressed."""
+
+    doms: tuple[Contract, ...]
+    rng_maker: object  # applicable value returning a Contract
+
+    def __repr__(self) -> str:
+        return f"(->d {' '.join(map(repr, self.doms))} <dep>)"
+
+
+@dataclass(frozen=True)
+class AndContract(Contract):
+    parts: tuple[Contract, ...]
+
+    def __repr__(self) -> str:
+        return f"(and/c {' '.join(map(repr, self.parts))})"
+
+
+@dataclass(frozen=True)
+class OrContract(Contract):
+    parts: tuple[Contract, ...]
+
+    def __repr__(self) -> str:
+        return f"(or/c {' '.join(map(repr, self.parts))})"
+
+
+@dataclass(frozen=True)
+class NotContract(Contract):
+    part: Contract
+
+    def __repr__(self) -> str:
+        return f"(not/c {self.part!r})"
+
+
+@dataclass(frozen=True)
+class ConsContract(Contract):
+    """``(cons/c car/c cdr/c)``"""
+
+    car: Contract
+    cdr: Contract
+
+    def __repr__(self) -> str:
+        return f"(cons/c {self.car!r} {self.cdr!r})"
+
+
+@dataclass(frozen=True)
+class ListofContract(Contract):
+    """``(listof c)`` — a proper list of elements satisfying ``c``."""
+
+    elem: Contract
+
+    def __repr__(self) -> str:
+        return f"(listof {self.elem!r})"
+
+
+@dataclass(frozen=True)
+class ListContract(Contract):
+    """``(list/c c ...)`` — fixed-length list."""
+
+    elems: tuple[Contract, ...]
+
+    def __repr__(self) -> str:
+        return f"(list/c {' '.join(map(repr, self.elems))})"
+
+
+@dataclass(frozen=True)
+class OneOfContract(Contract):
+    """``(one-of/c v ...)`` — equality with one of the given datums."""
+
+    choices: tuple[object, ...]
+
+    def __repr__(self) -> str:
+        return f"(one-of/c {' '.join(map(repr, self.choices))})"
+
+
+@dataclass(frozen=True)
+class StructContract(Contract):
+    """``(struct/c name field/c ...)``"""
+
+    type: StructType
+    fields: tuple[Contract, ...]
+
+    def __repr__(self) -> str:
+        return f"(struct/c {self.type.name} ...)"
+
+
+@dataclass(frozen=True)
+class RecContract(Contract):
+    """``(recursive-contract e)`` — delays evaluation of ``e`` until the
+    contract is attached (ties knots like ``tree/c``)."""
+
+    thunk: object  # applicable value of zero arguments returning a Contract
+
+    def __repr__(self) -> str:
+        return "(recursive-contract ...)"
+
+
+# ---------------------------------------------------------------------------
+# Type predicates shared by both interpreters
+# ---------------------------------------------------------------------------
+
+
+def is_number(v: object) -> bool:
+    return isinstance(v, (int, Fraction, float, complex)) and not isinstance(v, bool)
+
+
+def is_real(v: object) -> bool:
+    return isinstance(v, (int, Fraction, float)) and not isinstance(v, bool)
+
+
+def is_integer(v: object) -> bool:
+    if isinstance(v, bool):
+        return False
+    if isinstance(v, int):
+        return True
+    if isinstance(v, Fraction):
+        return v.denominator == 1
+    if isinstance(v, float):
+        return v.is_integer()
+    return False
+
+
+def is_exact(v: object) -> bool:
+    return isinstance(v, (int, Fraction)) and not isinstance(v, bool)
+
+
+def is_truthy(v: object) -> bool:
+    """Racket truthiness: only #f is false."""
+    return v is not False
+
+
+def racket_equal(a: object, b: object) -> bool:
+    """``equal?`` — structural equality; numbers compare by value within
+    exactness class (mirroring ``equal?``'s use of ``eqv?`` on numbers)."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b
+    if is_number(a) and is_number(b):
+        if is_exact(a) != is_exact(b) and not isinstance(a, complex) and not isinstance(b, complex):
+            return False
+        return a == b
+    if isinstance(a, Pair) and isinstance(b, Pair):
+        return racket_equal(a.car, b.car) and racket_equal(a.cdr, b.cdr)
+    if isinstance(a, StructVal) and isinstance(b, StructVal):
+        return a.type == b.type and all(
+            racket_equal(x, y) for x, y in zip(a.values, b.values)
+        )
+    return a == b
+
+
+def from_pylist(items: list) -> object:
+    """Build a Racket list value from a Python list."""
+    out: object = NIL
+    for item in reversed(items):
+        out = Pair(item, out)
+    return out
+
+
+def to_pylist(v: object) -> Optional[list]:
+    """Flatten a proper list to a Python list; None if improper."""
+    out = []
+    while isinstance(v, Pair):
+        out.append(v.car)
+        v = v.cdr
+    return out if v is NIL else None

@@ -1,0 +1,384 @@
+"""Symbolic heap for the untyped language (§4).
+
+Extends the SPCF heap model to dynamic typing: an opaque value carries a
+set of *possible type tags* which execution narrows through run-time
+type tests (§4.1), plus the same numeric refinement predicates as SPCF
+(reused from ``repro.core.heap``).  Data structures are refined
+incrementally into shapes (§4.2): once an opaque is known to be a pair
+it *becomes* ``UPair(•, •)`` with fresh opaque fields.
+
+Tag lattice.  The primary tags are disjoint and exhaustive:
+
+    integer | ratreal | nonreal | boolean | string | symbol | pair |
+    null | procedure | box | void | struct:<name>
+
+``ratreal`` covers non-integer reals (the exact-rational / float slice
+of the tower) and ``nonreal`` covers complex numbers with a nonzero
+imaginary part.  ``number?`` is ``{integer, ratreal, nonreal}``;
+``real?`` is ``{integer, ratreal}`` — this split is what lets the
+engine reproduce the paper's ``0+1i`` counterexamples while keeping SMT
+reasoning confined to integers (the documented §5.3 boundary).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from ..core.heap import (  # numeric refinements are shared with SPCF
+    HConst,
+    HLoc,
+    HOp,
+    HTerm,
+    PEq,
+    PLe,
+    PLt,
+    PNot,
+    Pred,
+    PZero,
+    fresh_loc,
+)
+from ..core.syntax import Loc
+from ..lang.ast import ULam
+from ..lang.sexp import Symbol
+from ..lang.values import StructType
+
+# ---------------------------------------------------------------------------
+# Tags
+# ---------------------------------------------------------------------------
+
+TAG_INTEGER = "integer"
+TAG_RATREAL = "ratreal"
+TAG_NONREAL = "nonreal"
+TAG_BOOLEAN = "boolean"
+TAG_STRING = "string"
+TAG_SYMBOL = "symbol"
+TAG_PAIR = "pair"
+TAG_NULL = "null"
+TAG_PROCEDURE = "procedure"
+TAG_BOX = "box"
+TAG_VOID = "void"
+
+BASE_TAGS = frozenset(
+    {
+        TAG_INTEGER,
+        TAG_RATREAL,
+        TAG_NONREAL,
+        TAG_BOOLEAN,
+        TAG_STRING,
+        TAG_SYMBOL,
+        TAG_PAIR,
+        TAG_NULL,
+        TAG_PROCEDURE,
+        TAG_BOX,
+        TAG_VOID,
+    }
+)
+
+NUMBER_TAGS = frozenset({TAG_INTEGER, TAG_RATREAL, TAG_NONREAL})
+REAL_TAGS = frozenset({TAG_INTEGER, TAG_RATREAL})
+FIRST_ORDER_TAGS = frozenset(
+    {TAG_INTEGER, TAG_RATREAL, TAG_NONREAL, TAG_BOOLEAN, TAG_STRING,
+     TAG_SYMBOL, TAG_NULL, TAG_VOID}
+)
+
+
+def struct_tag(name: str) -> str:
+    return f"struct:{name}"
+
+
+# ---------------------------------------------------------------------------
+# Extra refinement predicates for non-numeric scalars
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PEqDatum(Pred):
+    """``λx. (equal? x datum)`` for scalar datums (symbols, strings,
+    booleans) — lets ``case``/``equal?`` branches constrain opaque
+    scalars without involving the arithmetic solver."""
+
+    datum: object
+
+    def __repr__(self) -> str:
+        return f"(≡' {self.datum!r})"
+
+
+# ---------------------------------------------------------------------------
+# Storeables
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UStoreable:
+    def __post_init__(self) -> None:  # pragma: no cover - abstract guard
+        if type(self) is UStoreable:
+            raise TypeError("UStoreable is abstract")
+
+
+@dataclass(frozen=True)
+class UConc(UStoreable):
+    """A concrete immediate: number, boolean, string, symbol, NIL, VOID."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class UPair(UStoreable):
+    car: Loc
+    cdr: Loc
+
+    def __repr__(self) -> str:
+        return f"(cons {self.car.name} {self.cdr.name})"
+
+
+@dataclass(frozen=True)
+class UStruct(UStoreable):
+    type: StructType
+    fields: tuple[Loc, ...]
+
+    def __repr__(self) -> str:
+        inner = " ".join(f.name for f in self.fields)
+        return f"({self.type.name} {inner})"
+
+
+@dataclass(frozen=True)
+class UBoxS(UStoreable):
+    """A box; its content is a location (mutation = heap update)."""
+
+    content: Loc
+
+    def __repr__(self) -> str:
+        return f"(box {self.content.name})"
+
+
+# Symbolic environments map variable names to locations; immutable.
+SEnv = tuple[tuple[str, Loc], ...]
+
+
+def senv_lookup(env: SEnv, name: str) -> Optional[Loc]:
+    for n, l in reversed(env):
+        if n == name:
+            return l
+    return None
+
+
+def senv_extend(env: SEnv, *bindings: tuple[str, Loc]) -> SEnv:
+    return env + tuple(bindings)
+
+
+@dataclass(frozen=True)
+class UClos(UStoreable):
+    """A closure over a symbolic environment."""
+
+    lam: ULam
+    env: SEnv
+
+    def __repr__(self) -> str:
+        return f"#<procedure:{self.lam.name or 'λ'}>"
+
+
+@dataclass(frozen=True)
+class UPrim(UStoreable):
+    name: str
+
+    def __repr__(self) -> str:
+        return f"#<prim:{self.name}>"
+
+
+@dataclass(frozen=True)
+class UStructCtor(UStoreable):
+    type: StructType
+
+    def __repr__(self) -> str:
+        return f"#<ctor:{self.type.name}>"
+
+
+@dataclass(frozen=True)
+class UGuard(UStoreable):
+    """A function value wrapped by a higher-order contract (Findler–
+    Felleisen proxy); ``contract`` points at a contract storeable."""
+
+    contract: Loc
+    inner: Loc
+    pos: str
+    neg: str
+
+    def __repr__(self) -> str:
+        return f"#<guarded {self.inner.name}>"
+
+
+@dataclass(frozen=True)
+class UAlias(UStoreable):
+    """Transparent indirection created by ``set!`` so that refinements
+    of the target stay shared."""
+
+    target: Loc
+
+    def __repr__(self) -> str:
+        return f"@{self.target.name}"
+
+
+# -- contracts as storeables -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UCtc(UStoreable):
+    """A contract value.  ``kind`` selects the combinator; ``parts`` are
+    locations of sub-contracts or auxiliary values:
+
+    ========  =======================================================
+    kind      parts
+    ========  =======================================================
+    any       ()
+    flat      (pred,)
+    oneof     (datum-locs...)
+    and/or    sub-contracts
+    not       (sub,)
+    cons      (car/c, cdr/c)
+    listof    (elem/c,)
+    list      elem contracts
+    fun       (dom..., rng)
+    dep       (dom..., rng-maker)
+    struct    field contracts   (struct type in ``stype``)
+    rec       (thunk,)
+    ========  =======================================================
+    """
+
+    kind: str
+    parts: tuple[Loc, ...] = ()
+    stype: Optional[StructType] = None
+
+    def __repr__(self) -> str:
+        inner = " ".join(p.name for p in self.parts)
+        return f"#<ctc:{self.kind} {inner}>"
+
+
+# -- the unknowns -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UOpq(UStoreable):
+    """An opaque value: possible tags plus refinement predicates."""
+
+    possible: frozenset[str] = BASE_TAGS
+    preds: tuple[Pred, ...] = ()
+
+    def narrowed(self, tags: frozenset[str]) -> "UOpq":
+        return UOpq(self.possible & tags, self.preds)
+
+    def refined(self, p: Pred) -> "UOpq":
+        if p in self.preds:
+            return self
+        return UOpq(self.possible, self.preds + (p,))
+
+    @property
+    def definitely(self) -> Optional[str]:
+        """The single possible tag, if narrowed that far."""
+        if len(self.possible) == 1:
+            return next(iter(self.possible))
+        return None
+
+    def __repr__(self) -> str:
+        tags = "|".join(sorted(self.possible)) if self.possible != BASE_TAGS else "any"
+        preds = ", ".join(map(repr, self.preds))
+        return f"•{{{tags}{'; ' + preds if preds else ''}}}"
+
+
+@dataclass(frozen=True)
+class UCase(UStoreable):
+    """Memoising mapping for an opaque *function*: argument tuples to
+    result locations (the untyped generalisation of SPCF's ``caseT``).
+    ``arity`` fixes the accepted argument count once observed."""
+
+    arity: int
+    mapping: tuple[tuple[tuple[Loc, ...], Loc], ...] = ()
+
+    def lookup(self, args: tuple[Loc, ...]) -> Optional[Loc]:
+        for k, v in self.mapping:
+            if k == args:
+                return v
+        return None
+
+    def extended(self, args: tuple[Loc, ...], out: Loc) -> "UCase":
+        return UCase(self.arity, self.mapping + ((args, out),))
+
+    def __repr__(self) -> str:
+        rows = " ".join(
+            "[(" + " ".join(a.name for a in k) + f") ↦ {v.name}]"
+            for k, v in self.mapping
+        )
+        return f"ucase/{self.arity} {rows}"
+
+
+# ---------------------------------------------------------------------------
+# The heap (same copy-on-write discipline as the SPCF heap)
+# ---------------------------------------------------------------------------
+
+
+class UHeap:
+    """Immutable symbolic heap for the untyped machine."""
+
+    __slots__ = ("_d",)
+
+    def __init__(self, entries: Optional[dict[Loc, UStoreable]] = None) -> None:
+        self._d: dict[Loc, UStoreable] = entries if entries is not None else {}
+
+    @staticmethod
+    def empty() -> "UHeap":
+        return UHeap()
+
+    def get(self, l: Loc) -> UStoreable:
+        try:
+            return self._d[l]
+        except KeyError:
+            raise KeyError(f"unallocated location {l.name}") from None
+
+    def deref(self, l: Loc) -> tuple[Loc, UStoreable]:
+        """Follow UAlias chains; returns (final loc, storeable)."""
+        seen = set()
+        while True:
+            s = self.get(l)
+            if not isinstance(s, UAlias):
+                return l, s
+            if l in seen:  # pragma: no cover - aliasing is acyclic by construction
+                raise RuntimeError("alias cycle")
+            seen.add(l)
+            l = s.target
+
+    def __contains__(self, l: Loc) -> bool:
+        return l in self._d
+
+    def set(self, l: Loc, s: UStoreable) -> "UHeap":
+        d = dict(self._d)
+        d[l] = s
+        return UHeap(d)
+
+    def alloc(self, s: UStoreable, prefix: str = "u") -> tuple[Loc, "UHeap"]:
+        l = fresh_loc(prefix)
+        return l, self.set(l, s)
+
+    def narrow(self, l: Loc, tags: frozenset[str]) -> "UHeap":
+        l, s = self.deref(l)
+        assert isinstance(s, UOpq), f"narrowing non-opaque {s!r}"
+        return self.set(l, s.narrowed(tags))
+
+    def refine(self, l: Loc, p: Pred) -> "UHeap":
+        l, s = self.deref(l)
+        if not isinstance(s, UOpq):
+            return self  # concrete: refinement already decided
+        return self.set(l, s.refined(p))
+
+    def items(self) -> Iterator[tuple[Loc, UStoreable]]:
+        return iter(self._d.items())
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __repr__(self) -> str:
+        rows = ", ".join(f"{k.name} ↦ {v!r}" for k, v in self._d.items())
+        return f"[{rows}]"

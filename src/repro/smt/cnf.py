@@ -1,0 +1,145 @@
+"""Tseitin/Plaisted–Greenbaum CNF transform.
+
+Input must be in NNF (see ``smt.simplify.to_nnf``).  Theory atoms are
+mapped to positive SAT variables through an :class:`AtomMap`; boolean
+structure gets fresh definition variables.  Because the input is NNF we
+use the polarity-optimised Plaisted–Greenbaum encoding (one implication
+per definition), which preserves satisfiability and the assignments of
+the theory atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .terms import (
+    And,
+    BoolConst,
+    Eq,
+    Formula,
+    Le,
+    Lt,
+    Not,
+    Or,
+)
+
+# A SAT literal is a nonzero int: +v for the variable, -v for its negation.
+Lit = int
+Clause = list[Lit]
+
+
+@dataclass
+class AtomMap:
+    """Bidirectional map between theory atoms and SAT variables.
+
+    Only *positive* atoms (Eq/Le/Lt) are mapped; a negated atom is the
+    negative literal of its positive counterpart.
+    """
+
+    atom_to_var: dict[Formula, int] = field(default_factory=dict)
+    var_to_atom: dict[int, Formula] = field(default_factory=dict)
+    _next_var: int = 1
+
+    def fresh_var(self) -> int:
+        """Allocate a fresh SAT variable with no theory meaning."""
+        v = self._next_var
+        self._next_var += 1
+        return v
+
+    def var_for(self, atom: Formula) -> int:
+        """The SAT variable of a theory atom, allocating if new."""
+        v = self.atom_to_var.get(atom)
+        if v is None:
+            v = self.fresh_var()
+            self.atom_to_var[atom] = v
+            self.var_to_atom[v] = atom
+        return v
+
+    @property
+    def num_vars(self) -> int:
+        return self._next_var - 1
+
+    def theory_lits(self, assignment: dict[int, bool]) -> list[tuple[Formula, bool]]:
+        """Project a SAT assignment onto theory atoms as (atom, polarity)."""
+        out = []
+        for var, atom in self.var_to_atom.items():
+            if var in assignment:
+                out.append((atom, assignment[var]))
+        return out
+
+
+def literal_of(f: Formula, atoms: AtomMap) -> Lit | None:
+    """If ``f`` is a literal (atom or negated atom), return its SAT literal."""
+    if isinstance(f, (Eq, Le, Lt)):
+        return atoms.var_for(f)
+    if isinstance(f, Not) and isinstance(f.arg, (Eq, Le, Lt)):
+        return -atoms.var_for(f.arg)
+    return None
+
+
+def to_cnf(f: Formula, atoms: AtomMap) -> list[Clause]:
+    """Translate an NNF formula to CNF clauses over ``atoms``.
+
+    Returns the clause list; the formula is asserted (its root holds).
+    ``BoolConst`` leaves are handled: a FALSE root yields the empty clause.
+    """
+    clauses: list[Clause] = []
+
+    def encode(g: Formula) -> Lit | None:
+        """Return a literal equisatisfiable with ``g`` (PG encoding), or
+        None for TRUE (no constraint) — FALSE returns a var forced false."""
+        lit = literal_of(g, atoms)
+        if lit is not None:
+            return lit
+        if isinstance(g, BoolConst):
+            if g.value:
+                return None
+            v = atoms.fresh_var()
+            clauses.append([-v])
+            return v
+        if isinstance(g, And):
+            sub = [encode(a) for a in g.args]
+            sub = [s for s in sub if s is not None]
+            if not sub:
+                return None
+            p = atoms.fresh_var()
+            for s in sub:
+                clauses.append([-p, s])
+            return p
+        if isinstance(g, Or):
+            sub = [encode(a) for a in g.args]
+            if any(s is None for s in sub):  # a TRUE disjunct
+                return None
+            p = atoms.fresh_var()
+            clauses.append([-p] + [s for s in sub if s is not None])
+            return p
+        raise TypeError(f"formula not in NNF for CNF transform: {g!r}")
+
+    # Assert the root, flattening a top-level conjunction into unit roots
+    # and a top-level disjunction into a single clause.
+    def assert_top(g: Formula) -> None:
+        if isinstance(g, And):
+            for a in g.args:
+                assert_top(a)
+            return
+        if isinstance(g, BoolConst):
+            if not g.value:
+                clauses.append([])
+            return
+        if isinstance(g, Or):
+            lits = []
+            for a in g.args:
+                lit = literal_of(a, atoms)
+                if lit is None:
+                    lit = encode(a)
+                    if lit is None:  # TRUE disjunct
+                        return
+                lits.append(lit)
+            clauses.append(lits)
+            return
+        lit = encode(g)
+        if lit is not None:
+            clauses.append([lit])
+
+    assert_top(f)
+    return clauses

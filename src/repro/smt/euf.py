@@ -1,0 +1,121 @@
+"""Congruence closure for ground equalities over uninterpreted functions.
+
+Used as a fast path for equality reasoning and by tests as an oracle for
+the Ackermannisation performed in ``smt.solver``.  The implementation is
+the classic union-find + congruence-table algorithm (Nelson–Oppen style):
+terms are interned into nodes; merging two classes re-checks every parent
+application whose argument classes changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .terms import App, IntConst, Term, Var
+
+
+class CongruenceClosure:
+    """Incremental congruence closure over ground terms.
+
+    Supports :meth:`merge` for asserting equalities, :meth:`are_equal`
+    for queries, and :meth:`check_disequalities` to detect a conflict with
+    asserted disequalities.  Terms other than Var/IntConst/App are treated
+    as opaque constants (interned by structural equality).
+    """
+
+    def __init__(self) -> None:
+        self._parent: dict[Term, Term] = {}
+        self._rank: dict[Term, int] = {}
+        # Parents in the term-DAG sense: applications that mention a term.
+        self._use: dict[Term, list[App]] = {}
+        # Signature table: (func, arg-classes) -> representative app.
+        self._sig: dict[tuple, App] = {}
+        self._diseqs: list[tuple[Term, Term]] = []
+
+    # -- union-find ----------------------------------------------------
+
+    def _intern(self, t: Term) -> Term:
+        if t in self._parent:
+            return t
+        self._parent[t] = t
+        self._rank[t] = 0
+        self._use[t] = []
+        if isinstance(t, App):
+            for a in t.args:
+                self._intern(a)
+                self._use[self.find(a)].append(t)
+            self._update_sig(t)
+        return t
+
+    def find(self, t: Term) -> Term:
+        self._intern(t)
+        root = t
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[t] != root:  # path compression
+            self._parent[t], t = root, self._parent[t]
+        return root
+
+    def _update_sig(self, app: App) -> Optional[tuple[Term, Term]]:
+        """(Re)insert an application into the signature table; returns a
+        pair of terms to merge if a congruent application exists."""
+        sig = (app.func, tuple(self.find(a) for a in app.args))
+        other = self._sig.get(sig)
+        if other is not None and self.find(other) != self.find(app):
+            return (app, other)
+        self._sig[sig] = app
+        return None
+
+    # -- public API ----------------------------------------------------
+
+    def merge(self, a: Term, b: Term) -> None:
+        """Assert ``a = b`` and propagate congruences."""
+        pending = [(a, b)]
+        while pending:
+            x, y = pending.pop()
+            rx, ry = self.find(x), self.find(y)
+            if rx == ry:
+                continue
+            # Two distinct integer constants can never be equal; record the
+            # conflict by merging anyway and letting is_consistent notice.
+            if self._rank[rx] < self._rank[ry]:
+                rx, ry = ry, rx
+            self._parent[ry] = rx
+            if self._rank[rx] == self._rank[ry]:
+                self._rank[rx] += 1
+            self._use.setdefault(rx, []).extend(self._use.get(ry, []))
+            for app in list(self._use.get(ry, [])):
+                hit = self._update_sig(app)
+                if hit is not None:
+                    pending.append(hit)
+
+    def are_equal(self, a: Term, b: Term) -> bool:
+        return self.find(a) == self.find(b)
+
+    def assert_distinct(self, a: Term, b: Term) -> None:
+        self._intern(a)
+        self._intern(b)
+        self._diseqs.append((a, b))
+
+    def is_consistent(self) -> bool:
+        """False if two distinct integer literals were merged or an
+        asserted disequality collapsed."""
+        reps: dict[Term, int] = {}
+        for t in self._parent:
+            if isinstance(t, IntConst):
+                r = self.find(t)
+                if r in reps and reps[r] != t.value:
+                    return False
+                reps[r] = t.value
+        for a, b in self._diseqs:
+            if self.are_equal(a, b):
+                return False
+        return True
+
+    def classes(self) -> dict[Term, list[Term]]:
+        """Representative -> members, for inspection and model building."""
+        out: dict[Term, list[Term]] = {}
+        for t in self._parent:
+            out.setdefault(self.find(t), []).append(t)
+        return out

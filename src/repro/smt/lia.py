@@ -1,0 +1,498 @@
+"""Conjunction-level linear integer arithmetic.
+
+Decides conjunctions of literals of the forms ``e = 0``, ``e <= 0`` and
+``e != 0`` where ``e`` is a :class:`~repro.smt.linearize.LinExpr` over
+integer-valued atoms, and produces integer models.
+
+Algorithm
+---------
+1. *Constant propagation* pins atoms forced to a single value and folds
+   nonlinear product atoms whose factors become known.
+2. Remaining *nonlinear* atoms (products of two or more variables) are
+   handled by a fair bounded enumeration of their variables, seeded with
+   the constants appearing in the problem; each assignment reduces the
+   system to the linear case.  Exhausting the enumeration budget yields
+   UNKNOWN — this is the solver's documented incompleteness boundary
+   (mirroring the paper's reliance on Z3's nonlinear heuristics, §5.3).
+3. The *linear* core is solved by Gaussian elimination of equalities,
+   Fourier–Motzkin elimination of inequalities over the rationals with
+   back-substitution model construction, then branch-and-bound to repair
+   fractional values, and splitting to repair violated disequalities.
+
+Everything is exact (``fractions.Fraction``); no floating point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from .errors import BudgetExhausted, Result
+from .linearize import LinAtom, LinExpr
+from .terms import Div, IntConst, Mod, Mul, Term, Var
+
+# Constraint kinds after normalisation.
+EQ = "eq"  # expr  = 0
+LE = "le"  # expr <= 0
+NE = "ne"  # expr != 0
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A normalised arithmetic literal ``expr (kind) 0``."""
+
+    expr: LinExpr
+    kind: str
+
+    def __repr__(self) -> str:
+        sym = {EQ: "=", LE: "<=", NE: "!="}[self.kind]
+        return f"{self.expr!r} {sym} 0"
+
+
+def normalize(expr: LinExpr, kind: str, *, strict: bool = False) -> Constraint:
+    """Normalise to integer coefficients; fold strictness into the constant.
+
+    For integer-valued atoms, ``e < 0`` is ``e + 1 <= 0`` once ``e`` has
+    integer coefficients, and ``a_i x_i <= b`` tightens to
+    ``(a_i/g) x_i <= floor(b/g)`` for ``g = gcd(a_i)``.
+    """
+    denoms = [c.denominator for _, c in expr.coeffs] + [expr.const.denominator]
+    scale = math.lcm(*denoms) if denoms else 1
+    e = expr.scale(scale)
+    if strict:
+        if kind != LE:
+            raise ValueError("strictness only applies to inequalities")
+        e = e.add(LinExpr.constant(1))
+    coeffs = [int(c) for _, c in e.coeffs]
+    if kind == LE and coeffs:
+        g = math.gcd(*(abs(c) for c in coeffs))
+        if g > 1:
+            const = Fraction(math.floor(Fraction(e.const) / g))
+            e = LinExpr.from_dict(
+                {a: c / g for a, c in e.coeffs}, const
+            )
+    elif kind in (EQ, NE) and coeffs:
+        g = math.gcd(*(abs(c) for c in coeffs))
+        if g > 1:
+            if e.const % g != 0:
+                # gcd does not divide the constant: eq is UNSAT, ne is valid.
+                # Encode with a constant-only expr the caller will resolve.
+                return Constraint(LinExpr.constant(0 if kind == NE else 1), kind)
+            e = e.scale(Fraction(1, g))
+    return Constraint(e, kind)
+
+
+@dataclass
+class LiaResult:
+    """Outcome of a conjunction solve."""
+
+    status: Result
+    model: Optional[dict[LinAtom, int]] = None
+
+
+class LiaSolver:
+    """Decision procedure for conjunctions of integer linear literals.
+
+    Parameters
+    ----------
+    branch_budget:
+        Maximum number of branch-and-bound / disequality splits explored.
+    enum_budget:
+        Maximum number of assignments tried for nonlinear variables.
+    enum_range:
+        Half-width of the base enumeration window for nonlinear variables.
+    """
+
+    def __init__(
+        self,
+        branch_budget: int = 2000,
+        enum_budget: int = 20000,
+        enum_range: int = 12,
+    ) -> None:
+        self.branch_budget = branch_budget
+        self.enum_budget = enum_budget
+        self.enum_range = enum_range
+
+    # -- public entry --------------------------------------------------
+
+    def solve(self, constraints: Sequence[Constraint]) -> LiaResult:
+        """Decide a conjunction; model covers every atom mentioned."""
+        try:
+            model = self._solve_nonlinear(list(constraints))
+        except BudgetExhausted:
+            return LiaResult(Result.UNKNOWN)
+        if model is None:
+            return LiaResult(Result.UNSAT)
+        return LiaResult(Result.SAT, model)
+
+    # -- nonlinear layer -------------------------------------------------
+
+    def _solve_nonlinear(
+        self, constraints: list[Constraint]
+    ) -> Optional[dict[LinAtom, int]]:
+        constraints, pinned = _propagate_constants(constraints)
+        if constraints is None:
+            return None
+        nonlin_vars = _nonlinear_vars(constraints)
+        if not nonlin_vars:
+            model = self._solve_linear(constraints, self.branch_budget)
+            if model is None:
+                return None
+            model.update(pinned)
+            return _complete_products(model)
+
+        # Bounded fair enumeration over the nonlinear variables.
+        ordered = sorted(nonlin_vars, key=lambda v: v.name)
+        seeds = _seed_values(constraints, self.enum_range)
+        tried = 0
+        for values in itertools.product(seeds, repeat=len(ordered)):
+            tried += 1
+            if tried > self.enum_budget:
+                raise BudgetExhausted("nonlinear enumeration budget")
+            subst = dict(zip(ordered, values))
+            reduced = _substitute_all(constraints, subst)
+            reduced, more_pinned = _propagate_constants(reduced)
+            if reduced is None:
+                continue
+            if _nonlinear_vars(reduced):
+                continue  # substitution did not fully linearise; try next
+            model = self._solve_linear(reduced, max(self.branch_budget // 10, 50))
+            if model is not None:
+                model.update(pinned)
+                model.update(more_pinned)
+                for v, val in subst.items():
+                    model[v] = val
+                return _complete_products(model)
+        raise BudgetExhausted("nonlinear enumeration exhausted")
+
+    # -- linear layer ------------------------------------------------------
+
+    def _solve_linear(
+        self, constraints: list[Constraint], budget: int
+    ) -> Optional[dict[LinAtom, int]]:
+        """Branch-and-bound around the rational relaxation."""
+        stack: list[list[Constraint]] = [constraints]
+        spent = 0
+        while stack:
+            cons = stack.pop()
+            spent += 1
+            if spent > budget:
+                raise BudgetExhausted("branch-and-bound budget")
+            rat = _solve_rational(cons)
+            if rat is None:
+                continue
+            # Repair a fractional assignment first.
+            frac = next(
+                (a for a, v in rat.items() if v.denominator != 1), None
+            )
+            if frac is not None:
+                v = rat[frac]
+                below = LinExpr.atom(frac).add(
+                    LinExpr.constant(-math.floor(v))
+                )
+                above = LinExpr.atom(frac, -1).add(
+                    LinExpr.constant(math.ceil(v))
+                )
+                stack.append(cons + [normalize(below, LE)])
+                stack.append(cons + [normalize(above, LE)])
+                continue
+            int_model = {a: int(v) for a, v in rat.items()}
+            # Repair a violated disequality.
+            bad = next(
+                (
+                    c
+                    for c in cons
+                    if c.kind == NE and _eval_lin(c.expr, int_model) == 0
+                ),
+                None,
+            )
+            if bad is not None:
+                lo = bad.expr.add(LinExpr.constant(1))  # expr <= -1
+                hi = bad.expr.scale(-1).add(LinExpr.constant(1))  # expr >= 1
+                stack.append(cons + [normalize(lo, LE)])
+                stack.append(cons + [normalize(hi, LE)])
+                continue
+            return int_model
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Rational relaxation: Gaussian elimination + Fourier–Motzkin
+# ---------------------------------------------------------------------------
+
+
+def _solve_rational(
+    constraints: list[Constraint],
+) -> Optional[dict[LinAtom, Fraction]]:
+    """Satisfy the eq/le constraints over the rationals, ignoring ne
+    (handled by splitting in the caller).  Returns an assignment for every
+    atom mentioned, or None if infeasible."""
+    eqs = [c.expr for c in constraints if c.kind == EQ]
+    les = [c.expr for c in constraints if c.kind == LE]
+    all_atoms: set[LinAtom] = set()
+    for c in constraints:
+        all_atoms |= c.expr.atoms()
+
+    # Gaussian elimination of equalities.
+    substitutions: list[tuple[LinAtom, LinExpr]] = []
+    while eqs:
+        e = eqs.pop()
+        if e.is_constant:
+            if e.const != 0:
+                return None
+            continue
+        atom, coeff = e.coeffs[0]
+        # atom = -(e - coeff*atom)/coeff
+        rest = e.substitute(atom, LinExpr.constant(0))
+        repl = rest.scale(Fraction(-1, 1) / coeff)
+        substitutions.append((atom, repl))
+        eqs = [x.substitute(atom, repl) for x in eqs]
+        les = [x.substitute(atom, repl) for x in les]
+
+    # Fourier–Motzkin elimination with recorded stages.
+    les = [e for e in les if not (e.is_constant and e.const <= 0)]
+    for e in les:
+        if e.is_constant and e.const > 0:
+            return None
+    stages: list[tuple[LinAtom, list[LinExpr], list[LinExpr]]] = []
+    remaining = [e for e in les if not e.is_constant]
+
+    def pick_var(exprs: list[LinExpr]) -> LinAtom:
+        counts: dict[LinAtom, tuple[int, int]] = {}
+        for e in exprs:
+            for a, c in e.coeffs:
+                lo, hi = counts.get(a, (0, 0))
+                if c < 0:
+                    counts[a] = (lo + 1, hi)
+                else:
+                    counts[a] = (lo, hi + 1)
+        # Minimise the number of generated combinations (lo*hi).
+        return min(counts, key=lambda a: counts[a][0] * counts[a][1])
+
+    while remaining:
+        x = pick_var(remaining)
+        lowers: list[LinExpr] = []  # x >= expr
+        uppers: list[LinExpr] = []  # x <= expr
+        others: list[LinExpr] = []
+        for e in remaining:
+            c = e.coeff_of(x)
+            if c == 0:
+                others.append(e)
+                continue
+            rest = e.substitute(x, LinExpr.constant(0)).scale(Fraction(-1) / c)
+            if c > 0:
+                uppers.append(rest)  # c*x + rest' <= 0  =>  x <= rest
+            else:
+                lowers.append(rest)
+        stages.append((x, lowers, uppers))
+        for lo in lowers:
+            for up in uppers:
+                combo = lo.sub(up)  # lo <= x <= up  =>  lo - up <= 0
+                if combo.is_constant:
+                    if combo.const > 0:
+                        return None
+                else:
+                    others.append(combo)
+        remaining = others
+
+    # Back-substitution: assign eliminated variables innermost-first.
+    assignment: dict[LinAtom, Fraction] = {}
+    for x, lowers, uppers in reversed(stages):
+        lb = max(
+            (_eval_lin_frac(e, assignment) for e in lowers), default=None
+        )
+        ub = min(
+            (_eval_lin_frac(e, assignment) for e in uppers), default=None
+        )
+        assignment[x] = _pick_value(lb, ub)
+
+    # Any atom not touched by inequalities is free: pick 0.
+    for a in all_atoms:
+        if a not in assignment and not any(a == s for s, _ in substitutions):
+            assignment[a] = Fraction(0)
+
+    # Unwind equality substitutions.
+    for atom, repl in reversed(substitutions):
+        assignment[atom] = _eval_lin_frac(repl, assignment)
+
+    return assignment
+
+
+def _pick_value(lb: Optional[Fraction], ub: Optional[Fraction]) -> Fraction:
+    """A value in [lb, ub], preferring integers, preferring small ones."""
+    if lb is None and ub is None:
+        return Fraction(0)
+    if lb is None:
+        assert ub is not None
+        return Fraction(min(0, math.floor(ub)))
+    if ub is None:
+        return Fraction(max(0, math.ceil(lb)))
+    if lb > ub:  # pragma: no cover - FM guarantees feasibility
+        raise AssertionError("FM produced an empty interval")
+    if lb <= 0 <= ub:
+        return Fraction(0)
+    candidate = Fraction(math.ceil(lb))
+    if candidate <= ub:
+        return candidate
+    return (lb + ub) / 2  # no integer inside: fractional, B&B will repair
+
+
+# ---------------------------------------------------------------------------
+# Helpers: evaluation, constant propagation, nonlinear support
+# ---------------------------------------------------------------------------
+
+
+def _eval_lin_frac(e: LinExpr, env: dict[LinAtom, Fraction]) -> Fraction:
+    total = Fraction(e.const)
+    for a, c in e.coeffs:
+        total += c * env.get(a, Fraction(0))
+    return total
+
+
+def _eval_lin(e: LinExpr, env: dict[LinAtom, int]) -> Fraction:
+    total = Fraction(e.const)
+    for a, c in e.coeffs:
+        total += c * env.get(a, 0)
+    return total
+
+
+def _propagate_constants(
+    constraints: list[Constraint],
+) -> tuple[Optional[list[Constraint]], dict[LinAtom, int]]:
+    """Repeatedly pin *variables* forced to a constant by a unary equality
+    and fold nonlinear product atoms whose factors become known.
+
+    Only plain variables are ever pinned: pinning a product atom would
+    silently decouple it from its factors and make SAT answers unsound.
+
+    Returns (constraints', pinned) where constraints' is None on direct
+    contradiction.
+    """
+    pinned: dict[LinAtom, int] = {}
+    cons = list(constraints)
+    for _round in range(len(constraints) + 8):
+        progress = False
+        out: list[Constraint] = []
+        for c in cons:
+            e = c.expr
+            if e.is_constant:
+                v = e.const
+                ok = (
+                    (c.kind == EQ and v == 0)
+                    or (c.kind == LE and v <= 0)
+                    or (c.kind == NE and v != 0)
+                )
+                if not ok:
+                    return None, pinned
+                progress = True
+                continue
+            if c.kind == EQ and len(e.coeffs) == 1:
+                atom, coeff = e.coeffs[0]
+                value = -e.const / coeff
+                if value.denominator != 1:
+                    return None, pinned
+                if isinstance(atom, Var):
+                    prev = pinned.get(atom)
+                    if prev is not None and prev != int(value):
+                        return None, pinned
+                    pinned[atom] = int(value)
+                    progress = True
+                    continue
+            out.append(c)
+        if not progress:
+            return out, pinned
+        cons = []
+        for c in out:
+            e = c.expr
+            for atom, val in pinned.items():
+                e = e.substitute(atom, LinExpr.constant(val))
+            e = _fold_products(e, pinned)
+            cons.append(Constraint(e, c.kind))
+    return cons, pinned
+
+
+def _fold_products(e: LinExpr, pinned: dict[LinAtom, int]) -> LinExpr:
+    """Linearise product atoms whose factors are (now) known."""
+    result = e
+    for atom in list(e.atoms()):
+        if not isinstance(atom, Mul):
+            continue
+        const = 1
+        unknown: list[Term] = []
+        for factor in atom.args:
+            if isinstance(factor, IntConst):
+                const *= factor.value
+            elif factor in pinned:
+                const *= pinned[factor]
+            else:
+                unknown.append(factor)
+        if len(unknown) == 0:
+            result = result.substitute(atom, LinExpr.constant(const))
+        elif len(unknown) == 1:
+            result = result.substitute(
+                atom, LinExpr.atom(unknown[0], const)
+            )
+    return result
+
+
+def _nonlinear_vars(constraints: list[Constraint]) -> set[Var]:
+    """Variables occurring inside product atoms."""
+    out: set[Var] = set()
+    for c in constraints:
+        for a in c.expr.atoms():
+            if isinstance(a, Mul):
+                for f in a.args:
+                    if isinstance(f, Var):
+                        out.add(f)
+                    elif isinstance(f, (Div, Mod)):  # pragma: no cover
+                        raise AssertionError(
+                            "div/mod must be axiomatised before LIA"
+                        )
+    return out
+
+
+def _substitute_all(
+    constraints: list[Constraint], subst: dict[Var, int]
+) -> list[Constraint]:
+    out = []
+    for c in constraints:
+        e = c.expr
+        for v, val in subst.items():
+            e = e.substitute(v, LinExpr.constant(val))
+        e = _fold_products(e, dict(subst))
+        out.append(Constraint(e, c.kind))
+    return out
+
+
+def _seed_values(constraints: list[Constraint], half_width: int) -> list[int]:
+    """Fair enumeration order for nonlinear variables: small magnitudes
+    first, then constants (and neighbours) appearing in the problem."""
+    base: list[int] = [0]
+    for k in range(1, half_width + 1):
+        base.extend((k, -k))
+    extra: set[int] = set()
+    for c in constraints:
+        k = c.expr.const
+        if k.denominator == 1:
+            for delta in (-1, 0, 1):
+                extra.add(int(k) + delta)
+                extra.add(-int(k) + delta)
+    ordered = base + sorted(v for v in extra if abs(v) > half_width)
+    seen: set[int] = set()
+    out: list[int] = []
+    for v in ordered:
+        if v not in seen:
+            seen.add(v)
+            out.append(v)
+    return out
+
+
+def _complete_products(model: dict[LinAtom, int]) -> dict[LinAtom, int]:
+    """Strip non-variable atoms from the model, keeping the pure variable
+    assignment.  Product atoms are fully determined by their factors at
+    this point (they were either folded away or their variables enumerated),
+    so dropping them loses no information."""
+    return {a: v for a, v in model.items() if isinstance(a, Var)}

@@ -1,0 +1,99 @@
+"""Formula normalisation: simplification and negation normal form.
+
+The CNF transform (``smt.cnf``) expects NNF input: all negations pushed to
+atoms, no Implies/Iff.  Negated atoms over the integers are rewritten into
+positive inequalities where possible (``not (a <= b)`` becomes ``b < a``),
+so the only literal ever left carrying an explicit negation is a
+disequality ``not (a = b)``, which the theory layer handles by splitting.
+"""
+
+from __future__ import annotations
+
+from .terms import (
+    And,
+    BoolConst,
+    Eq,
+    FALSE,
+    Formula,
+    Iff,
+    Implies,
+    Le,
+    Lt,
+    Not,
+    Or,
+    TRUE,
+    mk_and,
+    mk_eq,
+    mk_iff,
+    mk_implies,
+    mk_le,
+    mk_lt,
+    mk_not,
+    mk_or,
+)
+
+
+def simplify(f: Formula) -> Formula:
+    """Bottom-up constant folding through the builder functions."""
+    if isinstance(f, BoolConst):
+        return f
+    if isinstance(f, Eq):
+        return mk_eq(f.lhs, f.rhs)
+    if isinstance(f, Le):
+        return mk_le(f.lhs, f.rhs)
+    if isinstance(f, Lt):
+        return mk_lt(f.lhs, f.rhs)
+    if isinstance(f, Not):
+        return mk_not(simplify(f.arg))
+    if isinstance(f, And):
+        return mk_and(*(simplify(a) for a in f.args))
+    if isinstance(f, Or):
+        return mk_or(*(simplify(a) for a in f.args))
+    if isinstance(f, Implies):
+        return mk_implies(simplify(f.lhs), simplify(f.rhs))
+    if isinstance(f, Iff):
+        return mk_iff(simplify(f.lhs), simplify(f.rhs))
+    raise TypeError(f"cannot simplify {f!r}")
+
+
+def to_nnf(f: Formula, *, negate: bool = False) -> Formula:
+    """Negation normal form.
+
+    With ``negate=True`` computes the NNF of ``not f``.  Inequality atoms
+    absorb negation (over the integers ``not (a <= b)`` is ``b+1 <= a``,
+    expressed here as ``b < a``); equalities keep a single ``Not`` wrapper.
+    """
+    if isinstance(f, BoolConst):
+        return BoolConst(f.value != negate)
+    if isinstance(f, Le):
+        return mk_lt(f.rhs, f.lhs) if negate else f
+    if isinstance(f, Lt):
+        return mk_le(f.rhs, f.lhs) if negate else f
+    if isinstance(f, Eq):
+        return mk_not(f) if negate else f
+    if isinstance(f, Not):
+        return to_nnf(f.arg, negate=not negate)
+    if isinstance(f, And):
+        parts = tuple(to_nnf(a, negate=negate) for a in f.args)
+        return mk_or(*parts) if negate else mk_and(*parts)
+    if isinstance(f, Or):
+        parts = tuple(to_nnf(a, negate=negate) for a in f.args)
+        return mk_and(*parts) if negate else mk_or(*parts)
+    if isinstance(f, Implies):
+        if negate:
+            return mk_and(to_nnf(f.lhs), to_nnf(f.rhs, negate=True))
+        return mk_or(to_nnf(f.lhs, negate=True), to_nnf(f.rhs))
+    if isinstance(f, Iff):
+        # (a iff b)      = (a and b) or (~a and ~b)
+        # not (a iff b)  = (a and ~b) or (~a and b)
+        a, b = f.lhs, f.rhs
+        if negate:
+            return mk_or(
+                mk_and(to_nnf(a), to_nnf(b, negate=True)),
+                mk_and(to_nnf(a, negate=True), to_nnf(b)),
+            )
+        return mk_or(
+            mk_and(to_nnf(a), to_nnf(b)),
+            mk_and(to_nnf(a, negate=True), to_nnf(b, negate=True)),
+        )
+    raise TypeError(f"cannot convert {f!r} to NNF")

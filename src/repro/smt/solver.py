@@ -1,0 +1,424 @@
+"""The solver facade: a lazy DPLL(T) loop over the CDCL core and the LIA
+conjunction solver.
+
+This module is the reproduction's stand-in for Z3 (see DESIGN.md).  The
+public surface mimics the slice of the z3py API the paper's tool needs:
+
+* :class:`Solver` with ``add``, ``push``/``pop``, ``check`` and ``model``;
+* :class:`Model` mapping variables to integers and uninterpreted functions
+  to finite tables;
+* module-level helpers :func:`check_sat`, :func:`is_valid`.
+
+Preprocessing eliminates the two term forms the LIA core does not handle
+natively:
+
+* ``div``/``mod`` terms are axiomatised with fresh quotient/remainder
+  variables (Euclidean semantics; a zero divisor makes the axiom
+  unsatisfiable, which matches the tool's usage where every division is
+  guarded by a nonzero refinement);
+* uninterpreted applications are Ackermannised: each syntactically
+  distinct application becomes a fresh variable, with functional
+  consistency clauses between applications of the same symbol.  This is
+  the solver-side mirror of the paper's ``case``-mapping translation
+  (Fig. 4), where "equal inputs imply equal outputs" is exactly the
+  instantiated consistency axiom.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .cnf import AtomMap, to_cnf
+from .errors import Result, SolverError
+from .lia import EQ, LE, NE, Constraint, LiaResult, LiaSolver, normalize
+from .linearize import linearize
+from .sat import SatSolver
+from .simplify import simplify, to_nnf
+from .terms import (
+    Add,
+    App,
+    BoolConst,
+    Div,
+    Eq,
+    FALSE,
+    Formula,
+    FuncDecl,
+    IntConst,
+    Le,
+    Lt,
+    Mod,
+    Mul,
+    Not,
+    Term,
+    TRUE,
+    Var,
+    eval_formula,
+    formula_terms,
+    free_vars,
+    mk_and,
+    mk_eq,
+    mk_ge,
+    mk_implies,
+    mk_le,
+    mk_mul,
+    mk_not,
+    mk_or,
+    mk_sub,
+    mk_var,
+)
+
+__all__ = ["Solver", "Model", "check_sat", "is_valid", "get_model"]
+
+
+@dataclass
+class Model:
+    """A first-order model: integers for variables, finite tables for
+    uninterpreted functions (default output 0 off-table)."""
+
+    env: dict[Var, int] = field(default_factory=dict)
+    funcs: dict[FuncDecl, dict[tuple[int, ...], int]] = field(default_factory=dict)
+
+    def __getitem__(self, v: Var | str) -> int:
+        if isinstance(v, str):
+            v = Var(v)
+        return self.env.get(v, 0)
+
+    def __contains__(self, v: Var | str) -> bool:
+        if isinstance(v, str):
+            v = Var(v)
+        return v in self.env
+
+    def eval_term(self, t: Term) -> int:
+        from .terms import eval_term
+
+        return eval_term(t, self.env, self.funcs)
+
+    def eval(self, f: Formula) -> bool:
+        return eval_formula(f, self.env, self.funcs)
+
+    def func_table(self, f: FuncDecl) -> dict[tuple[int, ...], int]:
+        return dict(self.funcs.get(f, {}))
+
+    def __repr__(self) -> str:
+        parts = [f"{v.name} = {val}" for v, val in sorted(
+            self.env.items(), key=lambda kv: kv[0].name)]
+        for f, table in self.funcs.items():
+            for args, out in sorted(table.items()):
+                parts.append(f"{f.name}{args} = {out}")
+        return "[" + ", ".join(parts) + "]"
+
+
+class _Preprocessed:
+    """Result of term-level preprocessing: a formula free of Div/Mod/App
+    plus bookkeeping to reconstruct models."""
+
+    def __init__(self) -> None:
+        self.defs: list[Formula] = []
+        self.div_cache: dict[Term, Var] = {}
+        self.app_cache: dict[App, Var] = {}
+        self.apps_by_func: dict[FuncDecl, list[tuple[App, Var]]] = {}
+        self._fresh = itertools.count()
+
+    def fresh(self, prefix: str) -> Var:
+        return Var(f".{prefix}{next(self._fresh)}")
+
+    # -- term rewriting --------------------------------------------------
+
+    def rewrite_term(self, t: Term) -> Term:
+        if isinstance(t, (Var, IntConst)):
+            return t
+        if isinstance(t, Add):
+            return Add(tuple(self.rewrite_term(a) for a in t.args))
+        if isinstance(t, Mul):
+            return Mul(tuple(self.rewrite_term(a) for a in t.args))
+        if isinstance(t, Div):
+            return self._rewrite_divmod(t, want_mod=False)
+        if isinstance(t, Mod):
+            return self._rewrite_divmod(t, want_mod=True)
+        if isinstance(t, App):
+            return self._rewrite_app(t)
+        raise SolverError(f"unsupported term {t!r}")
+
+    def _rewrite_divmod(self, t: Div | Mod, *, want_mod: bool) -> Term:
+        key_div = Div(t.num, t.den)
+        if key_div not in self.div_cache:
+            num = self.rewrite_term(t.num)
+            den = self.rewrite_term(t.den)
+            q = self.fresh("q")
+            r = self.fresh("r")
+            self.div_cache[key_div] = q
+            self.div_cache[Mod(t.num, t.den)] = r
+            # num = den*q + r, 0 <= r < |den|  (Euclidean).  den = 0 makes
+            # both guarded disjuncts false, i.e. the axiom is unsat.
+            self.defs.append(mk_eq(num, Add((mk_mul(den, q), r))))
+            self.defs.append(mk_ge(r, 0))
+            self.defs.append(
+                mk_or(
+                    mk_and(mk_ge(den, 1), mk_le(r, mk_sub(den, 1))),
+                    mk_and(
+                        mk_le(den, -1),
+                        mk_le(r, mk_sub(mk_mul(-1, den), 1)),
+                    ),
+                )
+            )
+        key = Mod(t.num, t.den) if want_mod else key_div
+        return self.div_cache[key]
+
+    def _rewrite_app(self, t: App) -> Term:
+        if t in self.app_cache:
+            return self.app_cache[t]
+        args = tuple(self.rewrite_term(a) for a in t.args)
+        v = self.fresh(f"f.{t.func.name}.")
+        self.app_cache[t] = v
+        rewritten = App(t.func, args)
+        # Functional consistency with every previous application of func.
+        for prev_app, prev_v in self.apps_by_func.get(t.func, []):
+            agree = mk_and(
+                *(
+                    mk_eq(a, b)
+                    for a, b in zip(rewritten.args, prev_app.args)
+                )
+            )
+            self.defs.append(mk_implies(agree, mk_eq(v, prev_v)))
+        self.apps_by_func.setdefault(t.func, []).append((rewritten, v))
+        return v
+
+    # -- formula rewriting ------------------------------------------------
+
+    def rewrite(self, f: Formula) -> Formula:
+        if isinstance(f, BoolConst):
+            return f
+        if isinstance(f, Eq):
+            return Eq(self.rewrite_term(f.lhs), self.rewrite_term(f.rhs))
+        if isinstance(f, Le):
+            return Le(self.rewrite_term(f.lhs), self.rewrite_term(f.rhs))
+        if isinstance(f, Lt):
+            return Lt(self.rewrite_term(f.lhs), self.rewrite_term(f.rhs))
+        if isinstance(f, Not):
+            return Not(self.rewrite(f.arg))
+        from .terms import And, Iff, Implies, Or
+
+        if isinstance(f, And):
+            return And(tuple(self.rewrite(a) for a in f.args))
+        if isinstance(f, Or):
+            return Or(tuple(self.rewrite(a) for a in f.args))
+        if isinstance(f, Implies):
+            return Implies(self.rewrite(f.lhs), self.rewrite(f.rhs))
+        if isinstance(f, Iff):
+            return Iff(self.rewrite(f.lhs), self.rewrite(f.rhs))
+        raise SolverError(f"unsupported formula {f!r}")
+
+
+def _atom_constraints(atom: Formula, positive: bool) -> Constraint:
+    """Translate a theory atom (with polarity) to a LIA constraint."""
+    if isinstance(atom, Eq):
+        diff = linearize(atom.lhs).sub(linearize(atom.rhs))
+        return normalize(diff, EQ if positive else NE)
+    if isinstance(atom, Le):
+        if positive:
+            diff = linearize(atom.lhs).sub(linearize(atom.rhs))
+            return normalize(diff, LE)
+        diff = linearize(atom.rhs).sub(linearize(atom.lhs))
+        return normalize(diff, LE, strict=True)
+    if isinstance(atom, Lt):
+        if positive:
+            diff = linearize(atom.lhs).sub(linearize(atom.rhs))
+            return normalize(diff, LE, strict=True)
+        diff = linearize(atom.rhs).sub(linearize(atom.lhs))
+        return normalize(diff, LE)
+    raise SolverError(f"not a theory atom: {atom!r}")
+
+
+class Solver:
+    """Incremental first-order solver with a z3py-like surface.
+
+    Example::
+
+        s = Solver()
+        x, y = mk_var("x"), mk_var("y")
+        s.add(mk_eq(mk_add(x, y), 10), mk_lt(x, y))
+        assert s.check() is Result.SAT
+        m = s.model()
+        assert m[x] + m[y] == 10 and m[x] < m[y]
+    """
+
+    def __init__(
+        self,
+        *,
+        max_theory_rounds: int = 4000,
+        lia: Optional[LiaSolver] = None,
+    ) -> None:
+        self._stack: list[list[Formula]] = [[]]
+        self._model: Optional[Model] = None
+        self._max_rounds = max_theory_rounds
+        self._lia = lia or LiaSolver()
+
+    # -- assertion management ----------------------------------------------
+
+    def add(self, *formulas: Formula) -> None:
+        self._stack[-1].extend(formulas)
+        self._model = None
+
+    def push(self) -> None:
+        self._stack.append([])
+
+    def pop(self) -> None:
+        if len(self._stack) == 1:
+            raise SolverError("pop without matching push")
+        self._stack.pop()
+        self._model = None
+
+    def assertions(self) -> list[Formula]:
+        return [f for frame in self._stack for f in frame]
+
+    # -- solving -----------------------------------------------------------
+
+    def check(self, *extra: Formula) -> Result:
+        """Decide the conjunction of all assertions (plus ``extra``)."""
+        self._model = None
+        phi = simplify(mk_and(*self.assertions(), *extra))
+        if phi == TRUE:
+            self._model = Model()
+            return Result.SAT
+        if phi == FALSE:
+            return Result.UNSAT
+
+        pre = _Preprocessed()
+        phi = pre.rewrite(phi)
+        # Definitions may themselves introduce div/app-free terms only.
+        full = simplify(mk_and(phi, *pre.defs))
+        if full == TRUE:
+            self._model = Model()
+            return Result.SAT
+        if full == FALSE:
+            return Result.UNSAT
+
+        nnf = to_nnf(full)
+        atoms = AtomMap()
+        clauses = to_cnf(nnf, atoms)
+        sat = SatSolver()
+        sat.ensure_vars(atoms.num_vars)
+        for cl in clauses:
+            if not sat.add_clause(cl):
+                return Result.UNSAT
+
+        unknown_seen = False
+        for _ in range(self._max_rounds):
+            verdict = sat.solve()
+            if verdict is None:
+                return Result.UNKNOWN
+            if verdict is False:
+                return Result.UNKNOWN if unknown_seen else Result.UNSAT
+            assignment = sat.model_assignment()
+            lits = atoms.theory_lits(assignment)
+            constraints = [_atom_constraints(a, pol) for a, pol in lits]
+            res = self._lia.solve(constraints)
+            if res.status is Result.SAT:
+                assert res.model is not None
+                self._model = self._build_model(res.model, full, pre)
+                return Result.SAT
+            core = lits
+            if res.status is Result.UNKNOWN:
+                unknown_seen = True
+            else:
+                core = self._shrink_core(lits)
+            blocking = [
+                (-atoms.var_for(a)) if pol else atoms.var_for(a)
+                for a, pol in core
+            ]
+            if not sat.block_and_continue(blocking):
+                return Result.UNKNOWN if unknown_seen else Result.UNSAT
+        return Result.UNKNOWN
+
+    def _shrink_core(
+        self, lits: list[tuple[Formula, bool]]
+    ) -> list[tuple[Formula, bool]]:
+        """Deletion-based unsat-core shrinking (keeps lemmas strong)."""
+        if len(lits) > 40:
+            return lits
+        core = list(lits)
+        i = 0
+        while i < len(core):
+            trial = core[:i] + core[i + 1 :]
+            constraints = [_atom_constraints(a, pol) for a, pol in trial]
+            if self._lia.solve(constraints).status is Result.UNSAT:
+                core = trial
+            else:
+                i += 1
+        return core
+
+    def _build_model(
+        self, env: dict, phi: Formula, pre: _Preprocessed
+    ) -> Model:
+        full_env: dict[Var, int] = {}
+        for v in free_vars(phi):
+            full_env[v] = env.get(v, 0)
+        for v, val in env.items():
+            if isinstance(v, Var):
+                full_env[v] = val
+        funcs: dict[FuncDecl, dict[tuple[int, ...], int]] = {}
+        for func, apps in pre.apps_by_func.items():
+            table: dict[tuple[int, ...], int] = {}
+            for app, var in apps:
+                try:
+                    args = tuple(
+                        _eval_int(a, full_env) for a in app.args
+                    )
+                except KeyError:
+                    continue
+                table[args] = full_env.get(var, 0)
+            funcs[func] = table
+        # Drop internal auxiliary variables from the reported model.
+        public_env = {
+            v: val for v, val in full_env.items() if not v.name.startswith(".")
+        }
+        return Model(public_env, funcs)
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise SolverError("model() called without a preceding SAT check")
+        return self._model
+
+
+def _eval_int(t: Term, env: dict[Var, int]) -> int:
+    from .terms import eval_term
+
+    return eval_term(t, env)
+
+
+# ---------------------------------------------------------------------------
+# Convenience helpers
+# ---------------------------------------------------------------------------
+
+
+def check_sat(*formulas: Formula, solver: Optional[Solver] = None) -> Result:
+    """One-shot satisfiability check of a conjunction."""
+    s = solver or Solver()
+    s.add(*formulas)
+    return s.check()
+
+
+def get_model(*formulas: Formula) -> Optional[Model]:
+    """One-shot model extraction; None unless definitely SAT."""
+    s = Solver()
+    s.add(*formulas)
+    if s.check() is Result.SAT:
+        return s.model()
+    return None
+
+
+def is_valid(phi: Formula, *axioms: Formula) -> Optional[bool]:
+    """Validity of ``axioms => phi``.
+
+    Returns True (valid), False (invalid — a countermodel exists) or None
+    (inconclusive).  Implemented as unsatisfiability of
+    ``axioms and not phi``.
+    """
+    res = check_sat(mk_and(*axioms), mk_not(phi))
+    if res is Result.UNSAT:
+        return True
+    if res is Result.SAT:
+        return False
+    return None

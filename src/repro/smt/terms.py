@@ -1,0 +1,566 @@
+"""Terms, atoms and formulas of the solver's first-order language.
+
+The language is quantifier-free integer arithmetic with uninterpreted
+functions (QF_UFLIA, plus nonlinear multiplication and Euclidean div/mod
+handled best-effort).  This is exactly the fragment the heap translation of
+the paper (Fig. 4) targets: the path condition of symbolic execution is
+always a first-order formula over base values, even when the program inputs
+are higher-order.
+
+All node classes are immutable and hashable; construct them through the
+builder functions at the bottom of the module (``mk_add``, ``mk_eq``, ...)
+which perform light normalisation (constant folding, flattening) so that
+structurally equal constraints compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Iterator, Union
+
+
+# ---------------------------------------------------------------------------
+# Sorts
+# ---------------------------------------------------------------------------
+
+
+class Sort:
+    """A first-order sort.  Only INT and BOOL exist; functions are handled
+    through :class:`FuncDecl` arities rather than arrow sorts."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+INT = Sort("Int")
+BOOL = Sort("Bool")
+
+
+# ---------------------------------------------------------------------------
+# Terms (integer-sorted)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class of integer-sorted terms."""
+
+    def __post_init__(self) -> None:  # pragma: no cover - abstract guard
+        if type(self) is Term:
+            raise TypeError("Term is abstract")
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """An integer variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntConst(Term):
+    """An integer literal."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Add(Term):
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        return "(+ " + " ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Mul(Term):
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        return "(* " + " ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Div(Term):
+    """Euclidean division (result rounds toward -inf for positive divisors,
+    matching Racket's ``quotient`` on naturals; see ``smt.lia`` for the
+    axiomatisation used)."""
+
+    num: Term
+    den: Term
+
+    def __repr__(self) -> str:
+        return f"(div {self.num!r} {self.den!r})"
+
+
+@dataclass(frozen=True)
+class Mod(Term):
+    num: Term
+    den: Term
+
+    def __repr__(self) -> str:
+        return f"(mod {self.num!r} {self.den!r})"
+
+
+@dataclass(frozen=True)
+class FuncDecl:
+    """An uninterpreted function symbol of a fixed arity.
+
+    Used by the heap translation for ``case`` mappings: an unknown
+    first-order function becomes an uninterpreted symbol, so "equal inputs
+    imply equal outputs" is exactly functional consistency.
+    """
+
+    name: str
+    arity: int
+
+    def __call__(self, *args: Term) -> "App":
+        return mk_app(self, *args)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """Application of an uninterpreted function to integer terms."""
+
+    func: FuncDecl
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        return f"({self.func.name} " + " ".join(map(repr, self.args)) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Formulas (boolean-sorted)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class of boolean-sorted formulas."""
+
+    def __post_init__(self) -> None:  # pragma: no cover - abstract guard
+        if type(self) is Formula:
+            raise TypeError("Formula is abstract")
+
+
+@dataclass(frozen=True)
+class BoolConst(Formula):
+    value: bool
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    lhs: Term
+    rhs: Term
+
+    def __repr__(self) -> str:
+        return f"(= {self.lhs!r} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Le(Formula):
+    lhs: Term
+    rhs: Term
+
+    def __repr__(self) -> str:
+        return f"(<= {self.lhs!r} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Lt(Formula):
+    lhs: Term
+    rhs: Term
+
+    def __repr__(self) -> str:
+        return f"(< {self.lhs!r} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    arg: Formula
+
+    def __repr__(self) -> str:
+        return f"(not {self.arg!r})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    args: tuple[Formula, ...]
+
+    def __repr__(self) -> str:
+        return "(and " + " ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    args: tuple[Formula, ...]
+
+    def __repr__(self) -> str:
+        return "(or " + " ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    lhs: Formula
+    rhs: Formula
+
+    def __repr__(self) -> str:
+        return f"(=> {self.lhs!r} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    lhs: Formula
+    rhs: Formula
+
+    def __repr__(self) -> str:
+        return f"(iff {self.lhs!r} {self.rhs!r})"
+
+
+Atom = Union[Eq, Le, Lt]
+ATOM_TYPES = (Eq, Le, Lt)
+
+
+# ---------------------------------------------------------------------------
+# Builders with light normalisation
+# ---------------------------------------------------------------------------
+
+
+def mk_int(value: int) -> IntConst:
+    """Build an integer literal."""
+    return IntConst(int(value))
+
+
+def mk_var(name: str) -> Var:
+    """Build an integer variable."""
+    return Var(name)
+
+
+def _coerce(t: Union[Term, int]) -> Term:
+    if isinstance(t, int):
+        return IntConst(t)
+    if not isinstance(t, Term):
+        raise TypeError(f"expected Term or int, got {t!r}")
+    return t
+
+
+def mk_add(*args: Union[Term, int]) -> Term:
+    """n-ary sum; flattens nested sums and folds constants."""
+    flat: list[Term] = []
+    const = 0
+    for a in map(_coerce, args):
+        if isinstance(a, Add):
+            items: Iterable[Term] = a.args
+        else:
+            items = (a,)
+        for item in items:
+            if isinstance(item, IntConst):
+                const += item.value
+            else:
+                flat.append(item)
+    if const != 0 or not flat:
+        flat.append(IntConst(const))
+    if len(flat) == 1:
+        return flat[0]
+    return Add(tuple(flat))
+
+
+def mk_neg(t: Union[Term, int]) -> Term:
+    """Unary negation, as multiplication by -1."""
+    return mk_mul(-1, t)
+
+
+def mk_sub(a: Union[Term, int], b: Union[Term, int]) -> Term:
+    """Binary subtraction ``a - b``."""
+    return mk_add(a, mk_neg(b))
+
+
+def mk_mul(*args: Union[Term, int]) -> Term:
+    """n-ary product; flattens, folds constants, and short-circuits zero."""
+    flat: list[Term] = []
+    const = 1
+    for a in map(_coerce, args):
+        if isinstance(a, Mul):
+            items: Iterable[Term] = a.args
+        else:
+            items = (a,)
+        for item in items:
+            if isinstance(item, IntConst):
+                const *= item.value
+            else:
+                flat.append(item)
+    if const == 0:
+        return IntConst(0)
+    if not flat:
+        return IntConst(const)
+    if const != 1:
+        flat.insert(0, IntConst(const))
+    if len(flat) == 1:
+        return flat[0]
+    return Mul(tuple(flat))
+
+
+def mk_div(num: Union[Term, int], den: Union[Term, int]) -> Term:
+    """Euclidean quotient; folds when both sides are constant and the
+    divisor is nonzero."""
+    num, den = _coerce(num), _coerce(den)
+    if isinstance(num, IntConst) and isinstance(den, IntConst) and den.value != 0:
+        # Euclidean: remainder is always nonnegative.
+        q, r = divmod(num.value, den.value)
+        if r < 0:  # pragma: no cover - Python divmod already floors
+            q += 1 if den.value < 0 else -1
+        return IntConst(q)
+    return Div(num, den)
+
+
+def mk_mod(num: Union[Term, int], den: Union[Term, int]) -> Term:
+    """Euclidean remainder; folds constants."""
+    num, den = _coerce(num), _coerce(den)
+    if isinstance(num, IntConst) and isinstance(den, IntConst) and den.value != 0:
+        return IntConst(num.value % abs(den.value))
+    return Mod(num, den)
+
+
+def mk_app(func: FuncDecl, *args: Union[Term, int]) -> App:
+    """Apply an uninterpreted function symbol."""
+    coerced = tuple(map(_coerce, args))
+    if len(coerced) != func.arity:
+        raise ValueError(
+            f"{func.name} has arity {func.arity}, applied to {len(coerced)} args"
+        )
+    return App(func, coerced)
+
+
+def mk_eq(a: Union[Term, int], b: Union[Term, int]) -> Formula:
+    a, b = _coerce(a), _coerce(b)
+    if a == b:
+        return TRUE
+    if isinstance(a, IntConst) and isinstance(b, IntConst):
+        return BoolConst(a.value == b.value)
+    return Eq(a, b)
+
+
+def mk_distinct(a: Union[Term, int], b: Union[Term, int]) -> Formula:
+    return mk_not(mk_eq(a, b))
+
+
+def mk_le(a: Union[Term, int], b: Union[Term, int]) -> Formula:
+    a, b = _coerce(a), _coerce(b)
+    if isinstance(a, IntConst) and isinstance(b, IntConst):
+        return BoolConst(a.value <= b.value)
+    return Le(a, b)
+
+
+def mk_lt(a: Union[Term, int], b: Union[Term, int]) -> Formula:
+    a, b = _coerce(a), _coerce(b)
+    if isinstance(a, IntConst) and isinstance(b, IntConst):
+        return BoolConst(a.value < b.value)
+    return Lt(a, b)
+
+
+def mk_ge(a: Union[Term, int], b: Union[Term, int]) -> Formula:
+    return mk_le(b, a)
+
+
+def mk_gt(a: Union[Term, int], b: Union[Term, int]) -> Formula:
+    return mk_lt(b, a)
+
+
+def mk_not(f: Formula) -> Formula:
+    if isinstance(f, BoolConst):
+        return BoolConst(not f.value)
+    if isinstance(f, Not):
+        return f.arg
+    return Not(f)
+
+
+def mk_and(*args: Formula) -> Formula:
+    flat: list[Formula] = []
+    for a in args:
+        if isinstance(a, And):
+            items: Iterable[Formula] = a.args
+        else:
+            items = (a,)
+        for item in items:
+            if item == FALSE:
+                return FALSE
+            if item != TRUE:
+                flat.append(item)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def mk_or(*args: Formula) -> Formula:
+    flat: list[Formula] = []
+    for a in args:
+        if isinstance(a, Or):
+            items: Iterable[Formula] = a.args
+        else:
+            items = (a,)
+        for item in items:
+            if item == TRUE:
+                return TRUE
+            if item != FALSE:
+                flat.append(item)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def mk_implies(a: Formula, b: Formula) -> Formula:
+    if a == FALSE or b == TRUE:
+        return TRUE
+    if a == TRUE:
+        return b
+    if b == FALSE:
+        return mk_not(a)
+    return Implies(a, b)
+
+
+def mk_iff(a: Formula, b: Formula) -> Formula:
+    if a == b:
+        return TRUE
+    if a == TRUE:
+        return b
+    if b == TRUE:
+        return a
+    if a == FALSE:
+        return mk_not(b)
+    if b == FALSE:
+        return mk_not(a)
+    return Iff(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+
+
+def subterms(t: Term) -> Iterator[Term]:
+    """Yield every subterm of ``t`` (including ``t`` itself), pre-order."""
+    yield t
+    if isinstance(t, (Add, Mul)):
+        for a in t.args:
+            yield from subterms(a)
+    elif isinstance(t, (Div, Mod)):
+        yield from subterms(t.num)
+        yield from subterms(t.den)
+    elif isinstance(t, App):
+        for a in t.args:
+            yield from subterms(a)
+
+
+def formula_terms(f: Formula) -> Iterator[Term]:
+    """Yield every term occurring in ``f``, pre-order."""
+    if isinstance(f, (Eq, Le, Lt)):
+        yield from subterms(f.lhs)
+        yield from subterms(f.rhs)
+    elif isinstance(f, Not):
+        yield from formula_terms(f.arg)
+    elif isinstance(f, (And, Or)):
+        for a in f.args:
+            yield from formula_terms(a)
+    elif isinstance(f, (Implies, Iff)):
+        yield from formula_terms(f.lhs)
+        yield from formula_terms(f.rhs)
+
+
+def free_vars(f: Formula) -> set[Var]:
+    """The set of integer variables occurring in ``f``."""
+    return {t for t in formula_terms(f) if isinstance(t, Var)}
+
+
+def func_decls(f: Formula) -> set[FuncDecl]:
+    """The set of uninterpreted function symbols occurring in ``f``."""
+    return {t.func for t in formula_terms(f) if isinstance(t, App)}
+
+
+def eval_term(t: Term, env: dict[Var, int], funcs=None) -> int:
+    """Evaluate a term under an integer assignment.
+
+    ``funcs`` maps :class:`FuncDecl` to ``dict[tuple[int, ...], int]`` tables
+    (with a default of 0 for unlisted argument tuples), as produced by the
+    solver's model construction.
+    """
+    if isinstance(t, IntConst):
+        return t.value
+    if isinstance(t, Var):
+        if t not in env:
+            raise KeyError(f"variable {t.name} not assigned")
+        return env[t]
+    if isinstance(t, Add):
+        return sum(eval_term(a, env, funcs) for a in t.args)
+    if isinstance(t, Mul):
+        prod = 1
+        for a in t.args:
+            prod *= eval_term(a, env, funcs)
+        return prod
+    if isinstance(t, Div):
+        num = eval_term(t.num, env, funcs)
+        den = eval_term(t.den, env, funcs)
+        if den == 0:
+            raise ZeroDivisionError("div by zero in model evaluation")
+        q, r = divmod(num, den)
+        return q
+    if isinstance(t, Mod):
+        num = eval_term(t.num, env, funcs)
+        den = eval_term(t.den, env, funcs)
+        if den == 0:
+            raise ZeroDivisionError("mod by zero in model evaluation")
+        return num % abs(den)
+    if isinstance(t, App):
+        argv = tuple(eval_term(a, env, funcs) for a in t.args)
+        if funcs is None or t.func not in funcs:
+            return 0
+        return funcs[t.func].get(argv, 0)
+    raise TypeError(f"cannot evaluate {t!r}")
+
+
+def eval_formula(f: Formula, env: dict[Var, int], funcs=None) -> bool:
+    """Evaluate a formula under an integer assignment."""
+    if isinstance(f, BoolConst):
+        return f.value
+    if isinstance(f, Eq):
+        return eval_term(f.lhs, env, funcs) == eval_term(f.rhs, env, funcs)
+    if isinstance(f, Le):
+        return eval_term(f.lhs, env, funcs) <= eval_term(f.rhs, env, funcs)
+    if isinstance(f, Lt):
+        return eval_term(f.lhs, env, funcs) < eval_term(f.rhs, env, funcs)
+    if isinstance(f, Not):
+        return not eval_formula(f.arg, env, funcs)
+    if isinstance(f, And):
+        return all(eval_formula(a, env, funcs) for a in f.args)
+    if isinstance(f, Or):
+        return any(eval_formula(a, env, funcs) for a in f.args)
+    if isinstance(f, Implies):
+        return (not eval_formula(f.lhs, env, funcs)) or eval_formula(f.rhs, env, funcs)
+    if isinstance(f, Iff):
+        return eval_formula(f.lhs, env, funcs) == eval_formula(f.rhs, env, funcs)
+    raise TypeError(f"cannot evaluate {f!r}")

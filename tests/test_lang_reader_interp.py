@@ -1,0 +1,362 @@
+"""Tests for the s-expression reader, parser, and concrete interpreter."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.conc import (
+    ContractBlame,
+    Interp,
+    InterpTimeout,
+    PrimBlame,
+    UserAbort,
+    run_source,
+)
+from repro.lang import (
+    NIL,
+    Pair,
+    ParseError,
+    ReadError,
+    Symbol,
+    parse_program,
+    read_all,
+    read_one,
+    to_pylist,
+    write_datum,
+)
+
+
+class TestReader:
+    def test_atoms(self):
+        assert read_one("42") == 42
+        assert read_one("-7") == -7
+        assert read_one("1/2") == Fraction(1, 2)
+        assert read_one("3.25") == 3.25
+        assert read_one("#t") is True
+        assert read_one("#f") is False
+        assert read_one("hello") == Symbol("hello")
+        assert read_one('"a string"') == "a string"
+
+    def test_complex_literals(self):
+        assert read_one("0+1i") == complex(0, 1)
+        assert read_one("3-2i") == complex(3, -2)
+        assert read_one("+i") == complex(0, 1)
+
+    def test_nested_lists(self):
+        d = read_one("(a (b c) 3)")
+        assert d == [Symbol("a"), [Symbol("b"), Symbol("c")], 3]
+
+    def test_square_brackets(self):
+        d = read_one("(cond [(= x 1) 2] [else 3])")
+        assert isinstance(d, list) and len(d) == 3
+
+    def test_quote_sugar(self):
+        assert read_one("'x") == [Symbol("quote"), Symbol("x")]
+        assert read_one("'(1 2)") == [Symbol("quote"), [1, 2]]
+
+    def test_comments_skipped(self):
+        data = read_all("; comment\n1 ; trailing\n2")
+        assert data == [1, 2]
+
+    def test_string_escapes(self):
+        assert read_one(r'"a\"b\n"') == 'a"b\n'
+
+    def test_unbalanced(self):
+        with pytest.raises(ReadError):
+            read_all("(a (b)")
+        with pytest.raises(ReadError):
+            read_all("a)")
+
+    def test_write_roundtrip(self):
+        for text in ["(a 1 #t)", '"s"', "(1 1/2 (x))"]:
+            assert read_one(write_datum(read_one(text))) == read_one(text)
+
+
+class TestInterpBasics:
+    def test_arithmetic(self):
+        assert run_source("(+ 1 2 3)") == 6
+        assert run_source("(* 2 (- 10 3))") == 14
+        assert run_source("(/ 1 2)") == Fraction(1, 2)
+        assert run_source("(/ 6 3)") == 2  # normalised to int
+
+    def test_division_by_zero_blames_site(self):
+        with pytest.raises(PrimBlame) as exc:
+            run_source("(/ 1 0)")
+        assert exc.value.op == "/"
+
+    def test_comparison_requires_reals(self):
+        with pytest.raises(PrimBlame):
+            run_source("(< 1 0+1i)")
+
+    def test_if_and_truthiness(self):
+        assert run_source("(if 0 'yes 'no)") == Symbol("yes")  # 0 is truthy!
+        assert run_source("(if #f 'yes 'no)") == Symbol("no")
+
+    def test_lambda_and_application(self):
+        assert run_source("((lambda (x y) (+ x y)) 3 4)") == 7
+
+    def test_let_forms(self):
+        assert run_source("(let ([x 1] [y 2]) (+ x y))") == 3
+        assert run_source("(let* ([x 1] [y (+ x 1)]) y)") == 2
+        assert run_source("(letrec ([f (lambda (n) (if (= n 0) 1 (* n (f (- n 1)))))]) (f 5))") == 120
+
+    def test_named_let(self):
+        src = "(let loop ([n 5] [acc 0]) (if (= n 0) acc (loop (- n 1) (+ acc n))))"
+        assert run_source(src) == 15
+
+    def test_define_and_recursion(self):
+        src = """
+        (define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))
+        (fact 6)
+        """
+        assert run_source(src) == 720
+
+    def test_cond_case(self):
+        assert run_source("(cond [#f 1] [(= 1 1) 2] [else 3])") == 2
+        assert run_source("(case (+ 1 2) [(1 2) 'small] [(3) 'three] [else 'big])") == Symbol("three")
+
+    def test_and_or(self):
+        assert run_source("(and 1 2 3)") == 3
+        assert run_source("(and #f 2)") is False
+        assert run_source("(or #f 5)") == 5
+        assert run_source("(or)") is False
+
+    def test_lists(self):
+        assert to_pylist(run_source("(list 1 2 3)")) == [1, 2, 3]
+        assert run_source("(car (cons 1 2))") == 1
+        assert run_source("(length '(a b c))") == 3
+        assert to_pylist(run_source("(reverse '(1 2))")) == [2, 1]
+        assert to_pylist(run_source("(append '(1) '(2 3))")) == [1, 2, 3]
+
+    def test_car_of_empty_blames(self):
+        with pytest.raises(PrimBlame):
+            run_source("(car '())")
+
+    def test_higher_order_prims(self):
+        assert to_pylist(run_source("(map (lambda (x) (* x x)) '(1 2 3))")) == [1, 4, 9]
+        assert to_pylist(run_source("(filter odd? '(1 2 3 4 5))")) == [1, 3, 5]
+        assert run_source("(foldl + 0 '(1 2 3))") == 6
+        assert run_source("(andmap number? '(1 2))") is True
+        assert run_source("(ormap string? '(1 2))") is False
+
+    def test_numeric_tower(self):
+        assert run_source("(number? 0+1i)") is True
+        assert run_source("(real? 0+1i)") is False
+        assert run_source("(integer? 2)") is True
+        assert run_source("(integer? 1/2)") is False
+        assert run_source("(rational? 1/2)") is True
+        assert run_source("(+ 1/2 1/2)") == 1
+
+    def test_boxes_and_set(self):
+        src = "(define b (box 1)) (set-box! b (+ (unbox b) 41)) (unbox b)"
+        assert run_source(src) == 42
+
+    def test_set_bang(self):
+        src = "(define x 1) (set! x 10) x"
+        assert run_source(src) == 10
+
+    def test_user_error(self):
+        with pytest.raises(UserAbort):
+            run_source('(error "boom")')
+
+    def test_fuel_limit(self):
+        with pytest.raises(InterpTimeout):
+            run_source("(define (loop) (loop)) (loop)", fuel=1000)
+
+    def test_quoted_data(self):
+        v = run_source("'(1 (2 3))")
+        items = to_pylist(v)
+        assert items[0] == 1 and to_pylist(items[1]) == [2, 3]
+
+    def test_strings(self):
+        assert run_source('(string-append "a" "b")') == "ab"
+        assert run_source('(string=? "x" "x")') is True
+        assert run_source('(string-length "abc")') == 3
+
+
+class TestStructs:
+    SRC = """
+    (module m
+      (struct posn (x y))
+      (define (make-it a b) (posn a b))
+      (provide make-it posn posn? posn-x posn-y))
+    """
+
+    def test_construct_and_access(self):
+        assert run_source(self.SRC + "(posn-x (make-it 3 4))") == 3
+        assert run_source(self.SRC + "(posn? (make-it 1 2))") is True
+        assert run_source(self.SRC + "(posn? 5)") is False
+
+    def test_accessor_wrong_type_blames(self):
+        with pytest.raises(PrimBlame):
+            run_source(self.SRC + "(posn-x 7)")
+
+
+class TestContracts:
+    def test_flat_contract_pass(self):
+        src = """
+        (module m
+          (define (f x) (* x 2))
+          (provide [f (-> integer? integer?)]))
+        (f 21)
+        """
+        assert run_source(src) == 42
+
+    def test_flat_contract_blames_client_on_bad_arg(self):
+        src = """
+        (module m
+          (define (f x) (* x 2))
+          (provide [f (-> integer? integer?)]))
+        (f "nope")
+        """
+        with pytest.raises(ContractBlame) as exc:
+            run_source(src)
+        assert "client" in exc.value.party
+
+    def test_range_violation_blames_module(self):
+        src = """
+        (module m
+          (define (f x) "oops")
+          (provide [f (-> integer? integer?)]))
+        (f 1)
+        """
+        with pytest.raises(ContractBlame) as exc:
+            run_source(src)
+        assert exc.value.party == "m"
+
+    def test_higher_order_contract_wraps(self):
+        src = """
+        (module m
+          (define (twice g x) (g (g x)))
+          (provide [twice (-> (-> integer? integer?) integer? integer?)]))
+        (twice (lambda (n) (+ n 1)) 5)
+        """
+        assert run_source(src) == 7
+
+    def test_higher_order_blames_client_function(self):
+        # The client's function returns a string: the client broke the
+        # inner range, which is the *client's* obligation here.
+        src = """
+        (module m
+          (define (use g) (+ 1 (g 0)))
+          (provide [use (-> (-> integer? integer?) integer?)]))
+        (use (lambda (n) "bad"))
+        """
+        with pytest.raises(ContractBlame) as exc:
+            run_source(src)
+        assert "client" in exc.value.party
+
+    def test_and_or_contracts(self):
+        src = """
+        (module m
+          (define (f x) x)
+          (provide [f (-> (and/c integer? positive?) (or/c integer? string?))]))
+        (f 3)
+        """
+        assert run_source(src) == 3
+        bad = src.replace("(f 3)", "(f -3)")
+        with pytest.raises(ContractBlame):
+            run_source(bad)
+
+    def test_listof_contract(self):
+        src = """
+        (module m
+          (define (total xs) (foldl + 0 xs))
+          (provide [total (-> (listof integer?) integer?)]))
+        (total (list 1 2 3))
+        """
+        assert run_source(src) == 6
+        with pytest.raises(ContractBlame):
+            run_source(src.replace("(list 1 2 3)", "(list 1 'a)"))
+
+    def test_cons_and_one_of(self):
+        src = """
+        (module m
+          (define (f p) (car p))
+          (provide [f (-> (cons/c integer? integer?) integer?)]))
+        (f (cons 1 2))
+        """
+        assert run_source(src) == 1
+
+    def test_dependent_contract(self):
+        # Range depends on the argument: f must return exactly its input.
+        src = """
+        (module m
+          (define (f x) x)
+          (provide [f (->d ([x integer?]) (=/c x))]))
+        (f 5)
+        """
+        assert run_source(src) == 5
+        bad = """
+        (module m
+          (define (f x) (+ x 1))
+          (provide [f (->d ([x integer?]) (=/c x))]))
+        (f 5)
+        """
+        with pytest.raises(ContractBlame) as exc:
+            run_source(bad)
+        assert exc.value.party == "m"
+
+    def test_struct_contract(self):
+        src = """
+        (module m
+          (struct p (x y))
+          (define (mk a) (p a a))
+          (provide [mk (-> integer? (struct/c p integer? integer?))] p-x p-y p p?))
+        (p-x (mk 3))
+        """
+        assert run_source(src) == 3
+
+    def test_recursive_contract(self):
+        src = """
+        (module m
+          (define list-of-ints/c
+            (recursive-contract (or/c null? (cons/c integer? list-of-ints/c))))
+          (define (f xs) xs)
+          (provide [f (-> list-of-ints/c any/c)]))
+        (f (list 1 2 3))
+        """
+        assert to_pylist(run_source(src)) == [1, 2, 3]
+
+    def test_opaque_requires_binding(self):
+        from repro.conc.interp import RuntimeFault
+
+        src = """
+        (module m
+          (define-opaque mystery (-> integer? integer?))
+          (define (f) (mystery 1))
+          (provide [f (-> integer?)]))
+        (f)
+        """
+        with pytest.raises(RuntimeFault):
+            run_source(src)
+
+    def test_opaque_with_supplied_value(self):
+        from repro.lang.parser import parse_expr_string
+
+        src = """
+        (module m
+          (define-opaque mystery (-> integer? integer?))
+          (define (f) (mystery 1))
+          (provide [f (-> integer?)]))
+        """
+        program = parse_program(src + "(f)")
+        interp = Interp()
+        from repro.lang.runtime import Closure
+
+        g = interp.eval(parse_expr_string("(lambda (n) (* n 10))"), interp.globals)
+        assert interp.run_program(program, opaque_values={"mystery": g}) == 10
+
+
+class TestParseErrors:
+    def test_variadic_lambda_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(lambda args args)")
+
+    def test_empty_application(self):
+        with pytest.raises(ParseError):
+            parse_program("()")
+
+    def test_bad_define(self):
+        with pytest.raises(ParseError):
+            parse_program("(define)")
