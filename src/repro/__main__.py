@@ -1,0 +1,6 @@
+"""``python -m repro`` — forwards to the driver CLI."""
+
+from .driver.__main__ import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,7 +46,6 @@ from ..lang.runtime import (
     StructCtor,
     is_applicable,
 )
-from ..lang.sexp import Symbol
 from ..lang.values import (
     ANY_C,
     AndContract,

@@ -13,11 +13,11 @@ one successor and no solver call is ever made.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional
 
-from .heap import Heap, SLam, SNum, Storeable
-from .machine import Machine, State, inject
-from .syntax import Err, Expr, Lam, Loc, Num, Opq, subexprs
+from .heap import SNum, Storeable
+from .machine import Machine, inject
+from .syntax import Err, Expr, Loc, Opq, subexprs
 
 
 class Timeout(Exception):

@@ -21,12 +21,12 @@ error, and the soundness test suite checks exactly that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..smt import Model, Result, Solver, mk_var
-from .concrete import ConcreteAnswer, Timeout, run
-from .heap import Heap, SCase, SLam, SNum, SOpq, Storeable
+from .concrete import Timeout, run
+from .heap import Heap, SCase, SLam, SNum, SOpq
 from .machine import State, _opq_loc
 from .syntax import (
     App,

@@ -24,7 +24,6 @@ from .heap import (
     Heap,
     HLoc,
     HOp,
-    HTerm,
     PEq,
     PLe,
     PLt,

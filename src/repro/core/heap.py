@@ -22,10 +22,10 @@ execution itself decomposes complex predicates.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Union
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
-from .syntax import Expr, Lam, Loc, Type
+from .syntax import Lam, Loc, Type
 
 
 # ---------------------------------------------------------------------------
@@ -233,6 +233,17 @@ _loc_counter = itertools.count()
 def fresh_loc(prefix: str = "L") -> Loc:
     """A globally fresh heap location."""
     return Loc(f"{prefix}{next(_loc_counter)}")
+
+
+def reset_locs() -> None:
+    """Restart the location counter.
+
+    Locations only need to be fresh within one program run; the batch
+    driver resets between programs so solver variable names — and hence
+    model choices — do not depend on what else ran in the same process.
+    """
+    global _loc_counter
+    _loc_counter = itertools.count()
 
 
 class Heap:

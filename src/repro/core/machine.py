@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .delta import delta
-from .heap import Heap, SCase, SLam, SNum, SOpq, fresh_loc
+from .heap import Heap, SCase, SLam, SNum, SOpq
 from .proof import ProofSystem
 from .syntax import (
     App,
@@ -41,7 +41,6 @@ from .syntax import (
     If,
     Lam,
     Loc,
-    NAT,
     NatType,
     Num,
     Opq,

@@ -17,10 +17,9 @@ syntactic checks on concrete numbers avoid most solver calls.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Optional
 
-from ..smt import Result, Solver, check_sat, mk_and, mk_not
+from ..smt import Result, check_sat, mk_not
 from .heap import (
     HConst,
     Heap,

@@ -15,11 +15,11 @@ A step budget bounds runaway executions.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from .machine import Machine, State, inject
-from .syntax import Err, Expr, Loc
+from .syntax import Err, Expr
 
 
 @dataclass

@@ -15,7 +15,7 @@ internal answer forms unavailable to source programs.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
 
@@ -75,6 +75,17 @@ _label_counter = itertools.count()
 def fresh_label(prefix: str = "l") -> str:
     """Allocate a globally fresh label (source positions in a real tool)."""
     return f"{prefix}{next(_label_counter)}"
+
+
+def reset_labels() -> None:
+    """Restart the label counter.
+
+    Labels only need to be unique within one program; the batch driver
+    resets before each program so reports are byte-stable no matter how
+    programs are distributed over worker processes.
+    """
+    global _label_counter
+    _label_counter = itertools.count()
 
 
 # ---------------------------------------------------------------------------

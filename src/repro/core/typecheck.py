@@ -8,7 +8,6 @@ function range), so ill-typed inputs would silently derail the machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from .syntax import (
     App,

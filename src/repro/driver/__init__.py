@@ -1,0 +1,47 @@
+"""Batch verification driver.
+
+Glues the front end to the symbolic engine end-to-end:
+
+``lang.parser`` → ``driver.lower`` → ``core.search`` (→ ``smt``) →
+``core.counterexample`` → validation by ``core.concrete`` *and* by the
+surface-level interpreter ``conc.interp``.
+
+* ``lower``  — type-inferring translation of the contract-free surface
+  subset into SPCF core terms (and back, for counterexample values);
+* ``corpus`` — the seeded benchmark suite (safe + buggy variants);
+* ``runner`` — per-program verification plus the parallel batch runner;
+* ``report`` — the machine-readable ``BENCH_driver.json`` schema.
+"""
+
+from .corpus import CORPUS, CorpusProgram, corpus_names, get_program
+from .lower import LowerError, lower_expr, lower_program, raise_expr
+from .report import (
+    SCHEMA,
+    BenchReport,
+    CexReport,
+    ProgramResult,
+    render_report,
+    render_result,
+)
+from .runner import RunConfig, run_corpus, verify_program, verify_source
+
+__all__ = [
+    "CORPUS",
+    "CorpusProgram",
+    "corpus_names",
+    "get_program",
+    "LowerError",
+    "lower_expr",
+    "lower_program",
+    "raise_expr",
+    "SCHEMA",
+    "BenchReport",
+    "CexReport",
+    "ProgramResult",
+    "render_report",
+    "render_result",
+    "RunConfig",
+    "run_corpus",
+    "verify_program",
+    "verify_source",
+]

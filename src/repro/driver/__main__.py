@@ -1,0 +1,180 @@
+"""``python -m repro`` — the command-line driver.
+
+Subcommands:
+
+* ``verify FILE``  — run the full pipeline on one surface program;
+* ``bench``        — run the benchmark corpus (optionally in parallel)
+  and write the machine-readable ``BENCH_driver.json``;
+* ``corpus list`` / ``corpus show NAME`` — inspect the corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+
+from .corpus import CORPUS, corpus_names, get_program
+from .report import STATUS_COUNTEREXAMPLE, STATUS_SAFE, render_report, render_result
+from .runner import RunConfig, run_corpus, verify_source
+
+
+_DEFAULTS = RunConfig()  # the single source of budget defaults
+
+
+def _add_budget_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--max-states", type=int, default=_DEFAULTS.max_states,
+        help=f"symbolic search state budget per program "
+        f"(default {_DEFAULTS.max_states})",
+    )
+    p.add_argument(
+        "--fuel", type=int, default=_DEFAULTS.fuel,
+        help=f"concrete validation step budget (default {_DEFAULTS.fuel})",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=_DEFAULTS.timeout_s, metavar="SECONDS",
+        help=f"per-program wall-clock budget (default {_DEFAULTS.timeout_s:g})",
+    )
+    p.add_argument(
+        "--mode", choices=("implications", "euf"), default=_DEFAULTS.mode,
+        help="heap translation mode (paper Fig. 4 ablation)",
+    )
+
+
+def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
+    return RunConfig(
+        max_states=args.max_states,
+        fuel=args.fuel,
+        timeout_s=args.timeout,
+        mode=args.mode,
+        jobs=jobs,
+    )
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.file == "-":
+        source = sys.stdin.read()
+        name = "<stdin>"
+    else:
+        try:
+            with open(args.file, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"repro: cannot read {args.file}: {exc.strerror}", file=sys.stderr)
+            return 2
+        name = args.file
+    result = verify_source(source, name=name, config=_config(args))
+    if args.json:
+        print(json.dumps(asdict(result), indent=2, sort_keys=True))
+    else:
+        print(render_result(result, verbose=True))
+    if result.status == STATUS_SAFE:
+        return 0
+    if result.status == STATUS_COUNTEREXAMPLE:
+        return 1
+    return 2
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.smoke:
+        names = corpus_names(tag="smoke")
+    else:
+        names = [p.name for p in CORPUS]
+    if args.filter:
+        names = [n for n in names if args.filter in n]
+    if not names:
+        print("no corpus programs match the filter", file=sys.stderr)
+        return 2
+    cfg = _config(args, jobs=args.jobs)
+    verbose = args.verbose
+
+    def progress(r):
+        print(render_result(r, verbose=verbose), flush=True)
+
+    report = run_corpus(names, config=cfg, progress=progress if verbose else None)
+    if not verbose:
+        print(render_report(report))
+    else:
+        print(render_report(report).splitlines()[-1])
+    report.write(args.out)
+    print(f"wrote {args.out}")
+    return 0 if report.all_as_expected else 1
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    if args.corpus_cmd == "show":
+        try:
+            p = get_program(args.name)
+        except KeyError:
+            print(f"repro: no corpus program named {args.name!r} "
+                  "(see `repro corpus list`)", file=sys.stderr)
+            return 2
+        print(f"; {p.name} [{p.kind}] {' '.join(p.tags)}")
+        print(f"; {p.description}")
+        print(p.source)
+        return 0
+    # list
+    for p in CORPUS:
+        if args.kind and p.kind != args.kind:
+            continue
+        if args.tag and args.tag not in p.tags:
+            continue
+        tags = ",".join(p.tags)
+        print(f"{p.name:28s} {p.kind:5s} [{tags}] {p.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Higher-order symbolic execution with counterexamples "
+        "(NguyenH15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_verify = sub.add_parser("verify", help="verify one program file")
+    p_verify.add_argument("file", help="surface-syntax program ('-' for stdin)")
+    p_verify.add_argument("--json", action="store_true", help="JSON output")
+    _add_budget_flags(p_verify)
+    p_verify.set_defaults(fn=_cmd_verify)
+
+    p_bench = sub.add_parser("bench", help="run the benchmark corpus")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="only the fast smoke-tagged subset")
+    p_bench.add_argument("--jobs", "-j", type=int, default=1,
+                         help="worker processes (default 1)")
+    p_bench.add_argument("--filter", default="",
+                         help="only programs whose name contains this")
+    p_bench.add_argument("--out", default="BENCH_driver.json",
+                         help="report path (default BENCH_driver.json)")
+    p_bench.add_argument("--verbose", "-v", action="store_true",
+                         help="stream per-program results")
+    _add_budget_flags(p_bench)
+    p_bench.set_defaults(fn=_cmd_bench)
+
+    p_corpus = sub.add_parser("corpus", help="inspect the corpus")
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_cmd", required=True)
+    p_list = corpus_sub.add_parser("list", help="list corpus programs")
+    p_list.add_argument("--kind", choices=("safe", "buggy"), default=None)
+    p_list.add_argument("--tag", default=None)
+    p_list.set_defaults(fn=_cmd_corpus)
+    p_show = corpus_sub.add_parser("show", help="print one program's source")
+    p_show.add_argument("name")
+    p_show.set_defaults(fn=_cmd_corpus)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into head) — not our error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,323 @@
+"""The seeded benchmark corpus.
+
+Thirty-two small higher-order programs in the surface syntax, arranged as
+safe/buggy pairs in the style of the paper's §5 evaluation: each buggy
+variant seeds exactly the kind of fault the tool exists to find (a
+reachable partial-primitive application), and each safe variant guards
+it so that every symbolic path is provably error-free.
+
+Corpus discipline (see ``driver.lower``):
+
+* programs stay inside the SPCF-expressible subset — numbers, first-class
+  functions, ``if``/``let``/``cond``/``and``-style sugar, bounded
+  recursion, and ``•`` unknowns;
+* safe programs terminate symbolically (recursion only on concrete
+  bounds) and their safety arguments are linear, so the bundled solver
+  can discharge them;
+* ``if`` tests always hold comparison/predicate results, keeping PCF
+  truthiness (non-zero) and Racket truthiness (non-``#f``) in agreement;
+* division sites are either the seeded fault or have guarded
+  denominators, so the core's floor division and Racket's truncating
+  ``quotient`` never disagree along executed paths.
+
+Every program is tagged; the ``smoke`` tag marks the fast subset CI runs
+on every push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SAFE = "safe"
+BUGGY = "buggy"
+
+_ABS = "(define (my-abs x) (if (< x 0) (- 0 x) x))\n"
+
+
+@dataclass(frozen=True)
+class CorpusProgram:
+    """One benchmark: a source text plus its expected verdict."""
+
+    name: str
+    kind: str  # SAFE or BUGGY
+    source: str
+    description: str
+    tags: tuple[str, ...] = ()
+
+    @property
+    def is_buggy(self) -> bool:
+        return self.kind == BUGGY
+
+
+def _safe(name, source, description, *tags):
+    return CorpusProgram(name, SAFE, source, description, tuple(tags))
+
+
+def _buggy(name, source, description, *tags):
+    return CorpusProgram(name, BUGGY, source, description, tuple(tags))
+
+
+CORPUS: tuple[CorpusProgram, ...] = (
+    # -- first-order division guards ------------------------------------
+    _safe(
+        "div-checked",
+        "(define (checked-div n d) (if (= d 0) 0 (quotient n d)))\n"
+        "(checked-div 100 •)",
+        "division behind an explicit zero test",
+        "smoke", "first-order",
+    ),
+    _buggy(
+        "div-unchecked",
+        "(define (risky-div n d) (quotient n d))\n"
+        "(risky-div 100 •)",
+        "unknown denominator reaches quotient unguarded",
+        "smoke", "first-order",
+    ),
+    _safe(
+        "abs-denom",
+        _ABS + "(quotient 100 (add1 (my-abs •)))",
+        "|x| + 1 is provably nonzero on both abs branches",
+        "first-order",
+    ),
+    _buggy(
+        "abs-denom-zero",
+        _ABS + "(quotient 100 (my-abs •))",
+        "|x| alone can still be zero",
+        "first-order",
+    ),
+    # -- the paper's §2 worked example ----------------------------------
+    _buggy(
+        "intro-unknown-fn",
+        "(define (f g) (quotient 100 (- 100 (g 0))))\n"
+        "(f •)",
+        "§2 introduction: an unknown function returning 100 at 0",
+        "higher-order",
+    ),
+    _safe(
+        "intro-unknown-fn-guarded",
+        _ABS
+        + "(define (f g) (quotient 100 (add1 (my-abs (g 0)))))\n"
+        + "(f •)",
+        "§2 example with the denominator made positive",
+        "higher-order",
+    ),
+    # -- function composition -------------------------------------------
+    _buggy(
+        "compose-hole",
+        "(define (compose f g) (lambda (x) (f (g x))))\n"
+        "((compose (lambda (y) (quotient 100 y)) (lambda (x) (- x 5))) •)",
+        "composed pipeline divides by x - 5",
+        "higher-order",
+    ),
+    _safe(
+        "compose-guarded",
+        _ABS
+        + "(define (compose f g) (lambda (x) (f (g x))))\n"
+        + "((compose (lambda (y) (quotient 100 y))"
+        " (lambda (x) (add1 (my-abs x)))) •)",
+        "composed pipeline with a positive inner stage",
+        "higher-order",
+    ),
+    # -- branch-join arithmetic ------------------------------------------
+    _safe(
+        "clamp-positive",
+        "(define (clamp x lo hi) (if (< x lo) lo (if (< hi x) hi x)))\n"
+        "(quotient 100 (clamp • 1 10))",
+        "clamping into [1, 10] keeps the denominator nonzero",
+        "first-order",
+    ),
+    _buggy(
+        "clamp-zero-low",
+        "(define (clamp x lo hi) (if (< x lo) lo (if (< hi x) hi x)))\n"
+        "(quotient 100 (clamp • 0 10))",
+        "clamping into [0, 10] admits a zero denominator",
+        "first-order",
+    ),
+    # -- bounded recursion over an unknown function ----------------------
+    _buggy(
+        "sum-unknown-fn",
+        "(define (sum-f f n) (if (<= n 0) 0 (+ (f n) (sum-f f (- n 1)))))\n"
+        "(quotient 100 (sum-f • 3))",
+        "f(3) + f(2) + f(1) can sum to zero",
+        "higher-order", "recursion",
+    ),
+    _safe(
+        "sum-unknown-fn-abs",
+        _ABS
+        + "(define (sum-f f n)"
+        " (if (<= n 0) 0 (+ (my-abs (f n)) (sum-f f (- n 1)))))\n"
+        + "(quotient 100 (add1 (sum-f • 3)))",
+        "a sum of absolute values plus one stays positive",
+        "higher-order", "recursion",
+    ),
+    # -- self-application shapes -----------------------------------------
+    _buggy(
+        "twice-reaches-ten",
+        "(define (twice f x) (f (f x)))\n"
+        "(quotient 100 (- 10 (twice • 3)))",
+        "memoised unknown: f(f(3)) can equal 10",
+        "higher-order",
+    ),
+    _safe(
+        "twice-guarded",
+        _ABS
+        + "(define (twice f x) (f (f x)))\n"
+        + "(quotient 100 (add1 (my-abs (twice • 3))))",
+        "f(f(3)) wrapped in abs + 1",
+        "higher-order",
+    ),
+    # -- binder/condition sugar ------------------------------------------
+    _safe(
+        "letstar-and-window",
+        "(let* ([a •] [b (add1 a)])\n"
+        "  (if (and (< 0 a) (< a 10)) (quotient 100 b) 0))",
+        "let* and `and`: inside the window b = a + 1 > 1",
+        "smoke", "sugar",
+    ),
+    _buggy(
+        "cond-lucky-seven",
+        "(let ([a •]) (cond [(= a 7) (quotient 100 (- a 7))] [else 1]))",
+        "cond: the a = 7 clause divides by a - 7",
+        "smoke", "sugar",
+    ),
+    # -- curried unknowns (nested case mappings) --------------------------
+    _buggy(
+        "curried-unknown",
+        "(define h •)\n"
+        "(quotient 100 (- 12 ((h 3) 4)))",
+        "a curried unknown h with h(3)(4) = 12",
+        "higher-order", "curried",
+    ),
+    _safe(
+        "curried-unknown-guarded",
+        "(define h •)\n" + _ABS + "(quotient 100 (add1 (my-abs ((h 3) 4))))",
+        "curried unknown result wrapped in abs + 1",
+        "higher-order", "curried",
+    ),
+    # -- the demonic context (havoc) --------------------------------------
+    _buggy(
+        "havoc-probes-lambda",
+        "(define unknown •)\n"
+        "(unknown (lambda (x) (quotient 100 x)))",
+        "an unknown context probes the supplied lambda at 0",
+        "smoke", "higher-order", "havoc",
+    ),
+    _safe(
+        "havoc-total-lambda",
+        "(define unknown •)\n"
+        + _ABS
+        + "(unknown (lambda (x) (quotient 100 (add1 (my-abs x)))))",
+        "the probed lambda is total: |x| + 1 is never zero",
+        "higher-order", "havoc",
+    ),
+    # -- concrete recursion feeding a constraint --------------------------
+    _buggy(
+        "factorial-offset",
+        "(define (fact n) (if (<= n 1) 1 (* n (fact (- n 1)))))\n"
+        "(quotient 100 (- (fact 5) •))",
+        "5! - x hits zero at x = 120",
+        "recursion",
+    ),
+    _safe(
+        "factorial-offset-abs",
+        _ABS
+        + "(define (fact n) (if (<= n 1) 1 (* n (fact (- n 1)))))\n"
+        + "(quotient 100 (add1 (my-abs (- (fact 5) •))))",
+        "|5! - x| + 1 stays positive",
+        "recursion",
+    ),
+    # -- integer remainders in the heap formula ---------------------------
+    _buggy(
+        "mod-denominator",
+        "(quotient 100 (modulo • 3))",
+        "x mod 3 is zero for any multiple of 3",
+        "first-order", "euclidean",
+    ),
+    _safe(
+        "mod-denominator-shifted",
+        "(quotient 100 (add1 (modulo • 3)))",
+        "Euclidean mod is nonnegative, so x mod 3 + 1 is positive",
+        "first-order", "euclidean",
+    ),
+    # -- boolean sugar (or / not) -----------------------------------------
+    _safe(
+        "or-covers-line",
+        "(define (covered? x) (or (< x 1) (< 0 x)))\n"
+        "(if (covered? •) 3 (quotient 1 0))",
+        "x < 1 or 0 < x covers every integer; the error branch is dead",
+        "sugar", "boolean",
+    ),
+    _buggy(
+        "window-inside",
+        "(define (outside? x) (or (< x 0) (< 10 x)))\n"
+        "(if (not (outside? •)) (quotient 1 0) 3)",
+        "not/or: any x in [0, 10] reaches the error branch",
+        "sugar", "boolean",
+    ),
+    # -- min/max selection -------------------------------------------------
+    _safe(
+        "max-with-one",
+        "(define (max2 a b) (if (< a b) b a))\n"
+        "(define lo •)\n"
+        "(quotient 100 (max2 1 lo))",
+        "max(1, x) is at least 1 on both branches",
+        "first-order",
+    ),
+    _buggy(
+        "min-with-one",
+        "(define (min2 a b) (if (< a b) a b))\n"
+        "(define lo •)\n"
+        "(quotient 100 (min2 1 lo))",
+        "min(1, x) can be zero",
+        "first-order",
+    ),
+    # -- two related unknowns ---------------------------------------------
+    _safe(
+        "strict-gap",
+        "(define a •)\n(define b •)\n"
+        "(if (< a b) (quotient 100 (- b a)) 2)",
+        "a < b makes the gap b - a at least 1",
+        "smoke", "first-order", "relational",
+    ),
+    _buggy(
+        "slack-gap",
+        "(define a •)\n(define b •)\n"
+        "(if (<= a b) (quotient 100 (- b a)) 2)",
+        "a <= b admits a zero gap",
+        "smoke", "first-order", "relational",
+    ),
+    # -- predicate chains --------------------------------------------------
+    _buggy(
+        "pred-chain-three",
+        "(define (pred3 x) (sub1 (sub1 (sub1 x))))\n"
+        "(if (zero? (pred3 •)) (quotient 1 0) 5)",
+        "three sub1s reach zero exactly at x = 3",
+        "smoke", "first-order",
+    ),
+    _safe(
+        "pred-chain-guarded",
+        _ABS + "(if (zero? (add1 (my-abs •))) (quotient 1 0) 5)",
+        "|x| + 1 is never zero, so the error branch is dead",
+        "first-order",
+    ),
+)
+
+
+_BY_NAME = {p.name: p for p in CORPUS}
+assert len(_BY_NAME) == len(CORPUS), "corpus names must be unique"
+
+
+def get_program(name: str) -> CorpusProgram:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"no corpus program named {name!r}") from None
+
+
+def corpus_names(*, kind: str | None = None, tag: str | None = None) -> list[str]:
+    """Names of corpus programs, optionally filtered by kind or tag."""
+    return [
+        p.name
+        for p in CORPUS
+        if (kind is None or p.kind == kind) and (tag is None or tag in p.tags)
+    ]

@@ -1,0 +1,164 @@
+"""Benchmark report schema and rendering.
+
+The batch runner emits one :class:`ProgramResult` per corpus program and
+aggregates them into a :class:`BenchReport`, serialised as
+``BENCH_driver.json``.  The JSON shape is versioned (``schema``) and kept
+deliberately flat and sorted so that per-PR diffs of the benchmark file
+are meaningful and the perf trajectory can be tracked across commits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+SCHEMA = "repro-bench/v1"
+
+# Terminal statuses a verification attempt can end in.
+STATUS_SAFE = "safe"  # search exhausted, no (modelable) error
+STATUS_COUNTEREXAMPLE = "counterexample"  # confirmed concrete input found
+STATUS_NO_MODEL = "no-counterexample"  # errors seen, none modelable/validated
+STATUS_TRUNCATED = "truncated"  # state budget hit before an answer
+STATUS_TIMEOUT = "timeout"  # wall-clock budget hit
+STATUS_UNSUPPORTED = "unsupported"  # outside the lowerable subset
+STATUS_ERROR = "error"  # driver-level failure (bug!)
+
+
+@dataclass
+class CexReport:
+    """A confirmed (or attempted) counterexample, rendered for humans."""
+
+    bindings: dict[str, str]  # opaque label -> pretty value
+    err_label: str
+    err_op: str
+    validated_core: bool  # re-run under core.concrete (Theorem 1)
+    validated_conc: Optional[bool]  # re-run under conc.interp (None: skipped)
+
+
+@dataclass
+class ProgramResult:
+    name: str
+    kind: str  # expected verdict: "safe" | "buggy" (or "?" for ad-hoc files)
+    status: str
+    wall_ms: float
+    states_explored: int = 0
+    proof_queries: int = 0
+    solver_queries: int = 0
+    errors_found: int = 0
+    cex_attempts: int = 0
+    counterexample: Optional[CexReport] = None
+    detail: str = ""
+
+    @property
+    def as_expected(self) -> Optional[bool]:
+        """Did the verdict match the corpus annotation?"""
+        if self.kind == "safe":
+            return self.status == STATUS_SAFE
+        if self.kind == "buggy":
+            return (
+                self.status == STATUS_COUNTEREXAMPLE
+                and self.counterexample is not None
+                and self.counterexample.validated_core
+                and self.counterexample.validated_conc is not False
+            )
+        return None
+
+
+@dataclass
+class BenchReport:
+    config: dict
+    results: list[ProgramResult] = field(default_factory=list)
+
+    def totals(self) -> dict:
+        n = len(self.results)
+        expected = [r.as_expected for r in self.results]
+        return {
+            "programs": n,
+            "as_expected": sum(1 for e in expected if e),
+            "unexpected": sum(1 for e in expected if e is False),
+            "safe": sum(1 for r in self.results if r.status == STATUS_SAFE),
+            "counterexamples": sum(
+                1 for r in self.results if r.status == STATUS_COUNTEREXAMPLE
+            ),
+            "timeouts": sum(1 for r in self.results if r.status == STATUS_TIMEOUT),
+            "states_explored": sum(r.states_explored for r in self.results),
+            "solver_queries": sum(r.solver_queries for r in self.results),
+            "wall_ms": round(sum(r.wall_ms for r in self.results), 1),
+        }
+
+    @property
+    def all_as_expected(self) -> bool:
+        return all(r.as_expected is not False for r in self.results)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "config": self.config,
+            "totals": self.totals(),
+            "programs": [
+                asdict(r) for r in sorted(self.results, key=lambda r: r.name)
+            ],
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Human-readable rendering
+# ---------------------------------------------------------------------------
+
+_STATUS_MARK = {
+    STATUS_SAFE: "✓",
+    STATUS_COUNTEREXAMPLE: "✗",
+    STATUS_NO_MODEL: "?",
+    STATUS_TRUNCATED: "…",
+    STATUS_TIMEOUT: "⏱",
+    STATUS_UNSUPPORTED: "-",
+    STATUS_ERROR: "!",
+}
+
+
+def render_result(r: ProgramResult, *, verbose: bool = False) -> str:
+    mark = _STATUS_MARK.get(r.status, "?")
+    flag = ""
+    if r.as_expected is False:
+        flag = "  << UNEXPECTED"
+    line = (
+        f"{mark} {r.name:28s} {r.status:16s} "
+        f"{r.states_explored:6d} states {r.solver_queries:4d} solver "
+        f"{r.wall_ms:8.1f} ms{flag}"
+    )
+    if r.counterexample is not None and (verbose or r.as_expected is False):
+        cex = r.counterexample
+        parts = [f"    • [{k}] = {v}" for k, v in sorted(cex.bindings.items())]
+        parts.append(
+            f"    breaks with {cex.err_op} at {cex.err_label} "
+            f"(core: {'ok' if cex.validated_core else 'FAILED'}, "
+            f"surface: "
+            + {True: "ok", False: "FAILED", None: "skipped"}[cex.validated_conc]
+            + ")"
+        )
+        line += "\n" + "\n".join(parts)
+    if r.detail and (verbose or r.status in (STATUS_ERROR, STATUS_UNSUPPORTED)):
+        line += f"\n    {r.detail}"
+    return line
+
+
+def render_report(report: BenchReport, *, verbose: bool = False) -> str:
+    lines = [
+        render_result(r, verbose=verbose)
+        for r in sorted(report.results, key=lambda r: r.name)
+    ]
+    t = report.totals()
+    lines.append(
+        f"-- {t['programs']} programs: {t['safe']} safe, "
+        f"{t['counterexamples']} counterexamples, {t['timeouts']} timeouts; "
+        f"{t['unexpected']} unexpected verdicts; "
+        f"{t['states_explored']} states, {t['solver_queries']} solver calls, "
+        f"{t['wall_ms']:.0f} ms total"
+    )
+    return "\n".join(lines)

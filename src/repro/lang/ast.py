@@ -16,16 +16,22 @@ Every application and opaque carries a label for blame, mirroring SPCF.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import Optional
 
-from .sexp import Symbol
 
 _label_counter = itertools.count()
 
 
 def fresh_label(prefix: str = "u") -> str:
     return f"{prefix}{next(_label_counter)}"
+
+
+def reset_labels() -> None:
+    """Restart the label counter (labels are only unique per program;
+    the batch driver resets between programs for stable reports)."""
+    global _label_counter
+    _label_counter = itertools.count()
 
 
 @dataclass(frozen=True)

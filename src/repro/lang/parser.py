@@ -42,7 +42,7 @@ from .ast import (
     UVar,
     fresh_label,
 )
-from .sexp import Datum, ReadError, Symbol, read_all
+from .sexp import Datum, Symbol, read_all
 
 
 class ParseError(Exception):

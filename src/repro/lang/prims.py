@@ -17,7 +17,6 @@ from typing import Callable
 
 from .sexp import Symbol
 from .values import (
-    ANY_C,
     AndContract,
     Box,
     ConsContract,
@@ -36,7 +35,6 @@ from .values import (
     RecContract,
     StructContract,
     StructType,
-    StructVal,
     VOID,
     from_pylist,
     is_exact,

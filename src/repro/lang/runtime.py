@@ -8,11 +8,11 @@ Felleisen).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .ast import ULam
-from .values import Contract, DepFuncContract, FuncContract, StructType
+from .values import StructType
 
 
 class Cell:

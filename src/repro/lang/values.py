@@ -17,11 +17,10 @@ Booleans are Python ``bool`` (checked before ``int`` everywhere, since
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Optional, Union
+from typing import Optional, Union
 
-from .sexp import Symbol
 
 Number = Union[int, Fraction, float, complex]
 

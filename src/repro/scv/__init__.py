@@ -1,0 +1,21 @@
+"""Symbolic execution for the untyped contract language (§4–5).
+
+Public surface of the scaled-up machine.  Note the current state of the
+subsystem: :class:`SMachine` stepping is implemented, but its δ-relation
+(``scv.delta``) and proof system (``scv.proof``) are still open items —
+constructing an ``SMachine`` without passing ``proof=`` explicitly will
+fail until they land.  The batch driver therefore routes corpus programs
+through the typed §3 pipeline (``driver.lower`` → ``core``) for now.
+"""
+
+from .heap import UHeap
+from .machine import Blame, SMachine, SState, is_known_label, syn_label
+
+__all__ = [
+    "Blame",
+    "SMachine",
+    "SState",
+    "UHeap",
+    "is_known_label",
+    "syn_label",
+]

@@ -22,26 +22,12 @@ reasoning confined to integers (the documented §5.3 boundary).
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Union
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
-from ..core.heap import (  # numeric refinements are shared with SPCF
-    HConst,
-    HLoc,
-    HOp,
-    HTerm,
-    PEq,
-    PLe,
-    PLt,
-    PNot,
-    Pred,
-    PZero,
-    fresh_loc,
-)
+from ..core.heap import Pred, fresh_loc
 from ..core.syntax import Loc
 from ..lang.ast import ULam
-from ..lang.sexp import Symbol
 from ..lang.values import StructType
 
 # ---------------------------------------------------------------------------

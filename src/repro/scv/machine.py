@@ -25,10 +25,10 @@ Design notes mirroring the paper:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
-from ..core.heap import PEq, PNot, Pred, PZero
+from ..core.heap import PNot
 from ..core.syntax import Loc
 from ..lang.ast import (
     Quote,
@@ -45,15 +45,10 @@ from ..lang.ast import (
 from ..lang.sexp import Symbol
 from ..lang.values import NIL, StructType, VOID
 from .heap import (
-    BASE_TAGS,
     PEqDatum,
     TAG_BOOLEAN,
-    TAG_BOX,
-    TAG_NULL,
-    TAG_PAIR,
     TAG_PROCEDURE,
     UAlias,
-    UBoxS,
     UCase,
     UClos,
     UConc,
@@ -66,7 +61,6 @@ from .heap import (
     UStoreable,
     UStruct,
     UStructCtor,
-    struct_tag,
 )
 
 _syn_counter = itertools.count()

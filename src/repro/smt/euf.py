@@ -9,10 +9,9 @@ application whose argument classes changed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
-from .terms import App, IntConst, Term, Var
+from .terms import App, IntConst, Term
 
 
 class CongruenceClosure:

@@ -16,7 +16,7 @@ paper's heap translation produces (tens to hundreds of atoms).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 Lit = int

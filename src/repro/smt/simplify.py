@@ -13,7 +13,6 @@ from .terms import (
     And,
     BoolConst,
     Eq,
-    FALSE,
     Formula,
     Iff,
     Implies,
@@ -21,7 +20,6 @@ from .terms import (
     Lt,
     Not,
     Or,
-    TRUE,
     mk_and,
     mk_eq,
     mk_iff,

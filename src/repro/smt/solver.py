@@ -28,11 +28,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Optional
 
 from .cnf import AtomMap, to_cnf
 from .errors import Result, SolverError
-from .lia import EQ, LE, NE, Constraint, LiaResult, LiaSolver, normalize
+from .lia import EQ, LE, NE, Constraint, LiaSolver, normalize
 from .linearize import linearize
 from .sat import SatSolver
 from .simplify import simplify, to_nnf
@@ -55,7 +55,6 @@ from .terms import (
     TRUE,
     Var,
     eval_formula,
-    formula_terms,
     free_vars,
     mk_and,
     mk_eq,
@@ -66,7 +65,6 @@ from .terms import (
     mk_not,
     mk_or,
     mk_sub,
-    mk_var,
 )
 
 __all__ = ["Solver", "Model", "check_sat", "is_valid", "get_model"]

@@ -15,8 +15,7 @@ structurally equal constraints compare equal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from fractions import Fraction
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Union
 
 

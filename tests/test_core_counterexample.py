@@ -5,11 +5,8 @@ reaches the error, and the reconstructed counterexample *re-runs
 concretely to the same blame* (Theorem 1 is enforced, not assumed).
 """
 
-import pytest
 
 from repro.core import (
-    App,
-    Fix,
     If,
     Lam,
     NAT,

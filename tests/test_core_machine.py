@@ -3,15 +3,12 @@
 import pytest
 
 from repro.core import (
-    App,
-    Err,
     Fix,
     Heap,
     HConst,
     HLoc,
     HOp,
     If,
-    Lam,
     Loc,
     Machine,
     NAT,

@@ -12,8 +12,6 @@ from repro.core import (
     Loc,
     NAT,
     Num,
-    Opq,
-    PrimApp,
     Ref,
     TypeError_,
     app,

@@ -1,0 +1,196 @@
+"""Driver integration: the corpus round-trips through the full pipeline,
+the batch runner parallelises it, and the JSON report schema is stable."""
+
+import json
+
+import pytest
+
+from repro.core import check_program
+from repro.driver import (
+    CORPUS,
+    RunConfig,
+    corpus_names,
+    get_program,
+    lower_program,
+    run_corpus,
+    verify_source,
+)
+from repro.driver.__main__ import main as cli_main
+from repro.driver.report import (
+    SCHEMA,
+    STATUS_COUNTEREXAMPLE,
+    STATUS_SAFE,
+    STATUS_TIMEOUT,
+    STATUS_TRUNCATED,
+    STATUS_UNSUPPORTED,
+)
+from repro.lang.parser import parse_program
+
+
+class TestCorpusIntegrity:
+    def test_names_unique(self):
+        names = [p.name for p in CORPUS]
+        assert len(names) == len(set(names))
+
+    def test_balanced_pairs(self):
+        assert len(corpus_names(kind="safe")) == len(corpus_names(kind="buggy"))
+        assert len(CORPUS) >= 30
+
+    def test_smoke_subset(self):
+        smoke = corpus_names(tag="smoke")
+        assert 4 <= len(smoke) <= len(CORPUS) // 2
+
+    def test_every_program_parses_lowers_and_typechecks(self):
+        for p in CORPUS:
+            core = lower_program(parse_program(p.source))
+            check_program(core)
+
+    def test_get_program_unknown(self):
+        with pytest.raises(KeyError):
+            get_program("definitely-not-a-benchmark")
+
+
+# One full-corpus run shared by the round-trip and report tests.
+@pytest.fixture(scope="module")
+def full_report():
+    return run_corpus(config=RunConfig(jobs=2, timeout_s=60.0))
+
+
+class TestCorpusRoundTrip:
+    def test_every_verdict_matches_annotation(self, full_report):
+        bad = [
+            (r.name, r.kind, r.status, r.detail)
+            for r in full_report.results
+            if r.as_expected is not True
+        ]
+        assert bad == []
+
+    def test_safe_programs_verify_clean(self, full_report):
+        for r in full_report.results:
+            if r.kind == "safe":
+                assert r.status == STATUS_SAFE
+                assert r.counterexample is None
+
+    def test_buggy_programs_confirmed_twice(self, full_report):
+        for r in full_report.results:
+            if r.kind == "buggy":
+                assert r.status == STATUS_COUNTEREXAMPLE
+                cex = r.counterexample
+                assert cex is not None
+                # Theorem 1 check under core.concrete…
+                assert cex.validated_core is True
+                # …and the independent surface-interpreter oracle.
+                assert cex.validated_conc is True
+                assert cex.err_label and cex.err_op
+
+    def test_stats_are_populated(self, full_report):
+        for r in full_report.results:
+            assert r.states_explored > 0
+            assert r.wall_ms > 0
+
+    def test_results_deterministic_across_runs(self, full_report):
+        # Label/location counters are reset per program, so a result must
+        # not depend on what else ran in the same worker process.
+        row = next(r for r in full_report.results if r.name == "sum-unknown-fn")
+        alone = verify_source(
+            get_program("sum-unknown-fn").source,
+            name="sum-unknown-fn",
+            kind="buggy",
+        )
+        assert alone.counterexample == row.counterexample
+        assert alone.states_explored == row.states_explored
+
+
+TOP_KEYS = {"schema", "config", "totals", "programs"}
+PROGRAM_KEYS = {
+    "name", "kind", "status", "wall_ms", "states_explored", "proof_queries",
+    "solver_queries", "errors_found", "cex_attempts", "counterexample",
+    "detail",
+}
+CEX_KEYS = {"bindings", "err_label", "err_op", "validated_core", "validated_conc"}
+TOTALS_KEYS = {
+    "programs", "as_expected", "unexpected", "safe", "counterexamples",
+    "timeouts", "states_explored", "solver_queries", "wall_ms",
+}
+
+
+class TestReportSchema:
+    def test_json_shape(self, full_report, tmp_path):
+        out = tmp_path / "BENCH_driver.json"
+        full_report.write(str(out))
+        data = json.loads(out.read_text())
+        assert data["schema"] == SCHEMA
+        assert set(data) == TOP_KEYS
+        assert set(data["totals"]) == TOTALS_KEYS
+        assert len(data["programs"]) == len(CORPUS)
+        for row in data["programs"]:
+            assert set(row) == PROGRAM_KEYS
+            if row["counterexample"] is not None:
+                assert set(row["counterexample"]) == CEX_KEYS
+
+    def test_rows_sorted_by_name(self, full_report, tmp_path):
+        out = tmp_path / "b.json"
+        full_report.write(str(out))
+        names = [r["name"] for r in json.loads(out.read_text())["programs"]]
+        assert names == sorted(names)
+
+    def test_totals_consistent(self, full_report):
+        t = full_report.totals()
+        assert t["programs"] == len(CORPUS)
+        assert t["safe"] + t["counterexamples"] == t["programs"]
+        assert t["unexpected"] == 0
+
+
+class TestVerifyStatuses:
+    def test_unsupported_source(self):
+        r = verify_source("(set! x 1)")
+        assert r.status == STATUS_UNSUPPORTED
+        assert "LowerError" in r.detail or "ParseError" in r.detail
+
+    def test_unparseable_source(self):
+        r = verify_source("(((")
+        assert r.status == STATUS_UNSUPPORTED
+
+    def test_truncated_on_unbounded_search(self):
+        src = "(define (spin n) (spin (+ n 1)))\n(spin •)"
+        r = verify_source(src, config=RunConfig(max_states=40))
+        assert r.status == STATUS_TRUNCATED
+        assert r.states_explored == 40
+
+    def test_timeout_is_reported_not_raised(self):
+        slow = get_program("mod-denominator")  # ~1s of solver work
+        r = verify_source(
+            slow.source, name=slow.name, kind=slow.kind,
+            config=RunConfig(timeout_s=0.01),
+        )
+        assert r.status in (STATUS_TIMEOUT, STATUS_COUNTEREXAMPLE)
+        if r.status == STATUS_TIMEOUT:
+            assert "wall clock" in r.detail
+
+
+class TestCli:
+    def test_corpus_list(self, capsys):
+        assert cli_main(["corpus", "list", "--kind", "buggy"]) == 0
+        out = capsys.readouterr().out
+        assert "div-unchecked" in out and "div-checked" not in out
+
+    def test_corpus_show(self, capsys):
+        assert cli_main(["corpus", "show", "strict-gap"]) == 0
+        assert "quotient" in capsys.readouterr().out
+
+    def test_bench_smoke_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_driver.json"
+        code = cli_main(["bench", "--smoke", "--jobs", "2", "--out", str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["schema"] == SCHEMA
+        assert data["totals"]["unexpected"] == 0
+        assert len(data["programs"]) == len(corpus_names(tag="smoke"))
+
+    def test_verify_file_exit_codes(self, tmp_path):
+        buggy = tmp_path / "buggy.rkt"
+        buggy.write_text("(quotient 1 •)\n")
+        assert cli_main(["verify", str(buggy)]) == 1
+        safe = tmp_path / "safe.rkt"
+        safe.write_text("(quotient 1 (add1 (* • 0)))\n")
+        assert cli_main(["verify", str(safe)]) == 0

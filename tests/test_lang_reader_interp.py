@@ -13,8 +13,6 @@ from repro.conc import (
     run_source,
 )
 from repro.lang import (
-    NIL,
-    Pair,
     ParseError,
     ReadError,
     Symbol,
@@ -342,7 +340,6 @@ class TestContracts:
         """
         program = parse_program(src + "(f)")
         interp = Interp()
-        from repro.lang.runtime import Closure
 
         g = interp.eval(parse_expr_string("(lambda (n) (* n 10))"), interp.globals)
         assert interp.run_program(program, opaque_values={"mystery": g}) == 10

@@ -29,7 +29,6 @@ from repro.smt import (
     mk_lt,
     mk_mod,
     mk_mul,
-    mk_not,
     mk_or,
     mk_sub,
     mk_var,

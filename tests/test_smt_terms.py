@@ -1,6 +1,5 @@
 """Unit tests for the term/formula AST and builders."""
 
-from fractions import Fraction
 
 import pytest
 
@@ -8,18 +7,15 @@ from repro.smt.linearize import LinExpr, linearize
 from repro.smt.simplify import simplify, to_nnf
 from repro.smt.terms import (
     Add,
-    And,
     Eq,
     FALSE,
     FuncDecl,
     IntConst,
     Le,
     Lt,
-    Mul,
     Not,
     Or,
     TRUE,
-    Var,
     eval_formula,
     eval_term,
     free_vars,
