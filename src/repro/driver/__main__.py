@@ -1,11 +1,16 @@
 """``python -m repro`` — the command-line driver.
 
-Subcommands:
+Subcommands (full reference: docs/CLI.md):
 
 * ``verify FILE``  — run the full pipeline on one surface program;
 * ``bench``        — run the benchmark corpus (optionally in parallel)
   and write the machine-readable ``BENCH_driver.json``;
 * ``corpus list`` / ``corpus show NAME`` — inspect the corpus.
+
+Both ``verify`` and ``bench`` take ``--backend {core,scv,both}``:
+``core`` is the typed §3 SPCF pipeline, ``scv`` the untyped §4 contract
+pipeline, and ``both`` runs each program on every backend it supports
+and cross-checks the verdicts (disagreements fail the run).
 """
 
 from __future__ import annotations
@@ -15,15 +20,21 @@ import json
 import sys
 from dataclasses import asdict
 
+from .backends import BACKEND_CHOICES
 from .corpus import CORPUS, corpus_names, get_program
 from .report import STATUS_COUNTEREXAMPLE, STATUS_SAFE, render_report, render_result
-from .runner import RunConfig, run_corpus, verify_source
+from .runner import RunConfig, expand_tasks, run_corpus, verify_source
 
 
 _DEFAULTS = RunConfig()  # the single source of budget defaults
 
 
 def _add_budget_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="core",
+        help="verification engine: typed core pipeline, untyped scv "
+        "pipeline, or both cross-checked (default core)",
+    )
     p.add_argument(
         "--max-states", type=int, default=_DEFAULTS.max_states,
         help=f"symbolic search state budget per program "
@@ -65,14 +76,25 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"repro: cannot read {args.file}: {exc.strerror}", file=sys.stderr)
             return 2
         name = args.file
-    result = verify_source(source, name=name, config=_config(args))
+    backends = ("core", "scv") if args.backend == "both" else (args.backend,)
+    results = [
+        verify_source(source, name=name, config=_config(args), backend=b)
+        for b in backends
+    ]
     if args.json:
-        print(json.dumps(asdict(result), indent=2, sort_keys=True))
+        rows = [asdict(r) for r in results]
+        print(json.dumps(rows[0] if len(rows) == 1 else rows,
+                         indent=2, sort_keys=True))
     else:
-        print(render_result(result, verbose=True))
-    if result.status == STATUS_SAFE:
+        for r in results:
+            print(render_result(r, verbose=True))
+    statuses = {r.status for r in results}
+    if len(results) > 1 and statuses == {STATUS_SAFE, STATUS_COUNTEREXAMPLE}:
+        print("repro: backends disagree", file=sys.stderr)
+        return 3
+    if statuses == {STATUS_SAFE}:
         return 0
-    if result.status == STATUS_COUNTEREXAMPLE:
+    if STATUS_COUNTEREXAMPLE in statuses:
         return 1
     return 2
 
@@ -84,8 +106,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         names = [p.name for p in CORPUS]
     if args.filter:
         names = [n for n in names if args.filter in n]
-    if not names:
-        print("no corpus programs match the filter", file=sys.stderr)
+    if not expand_tasks(names, args.backend):
+        print("no corpus programs match the filter and backend selection",
+              file=sys.stderr)
         return 2
     cfg = _config(args, jobs=args.jobs)
     verbose = args.verbose
@@ -93,13 +116,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     def progress(r):
         print(render_result(r, verbose=verbose), flush=True)
 
-    report = run_corpus(names, config=cfg, progress=progress if verbose else None)
+    report = run_corpus(
+        names, config=cfg, progress=progress if verbose else None,
+        backend=args.backend,
+    )
     if not verbose:
         print(render_report(report))
     else:
-        print(render_report(report).splitlines()[-1])
+        for line in render_report(report).splitlines():
+            if line.startswith("--"):
+                print(line)
     report.write(args.out)
     print(f"wrote {args.out}")
+    if not report.backends_agree:
+        return 3
     return 0 if report.all_as_expected else 1
 
 

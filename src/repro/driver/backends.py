@@ -1,0 +1,400 @@
+"""Backend dispatch: one verification question, two symbolic engines.
+
+A :class:`Backend` turns surface source text into a
+:class:`~repro.driver.report.ProgramResult`.  Two are registered:
+
+* ``core`` — the typed §3 pipeline: ``driver.lower`` type-infers the
+  contract-free subset into SPCF, ``core.search`` explores it, and
+  counterexamples are double-validated (``core.concrete`` Theorem-1
+  re-run + independent ``conc.interp`` surface re-run);
+* ``scv`` — the untyped §4 pipeline: ``scv.engine`` assembles the
+  program (modules, contracts, demonic client) for the untyped machine,
+  ``scv.delta``/``scv.proof`` drive its branching, and
+  ``scv.counterexample`` models blame states.  Counterexamples for
+  module programs are demonic-context findings with no concrete client
+  to re-run, so their validation flags read "skipped".
+
+Both backends enforce the same wall-clock deadline and report the same
+result schema, which is what makes ``--backend both`` cross-checking
+(``report.BenchReport.agreement``) meaningful.  On the contract-free
+shared corpus the scv machine runs under ``assume_well_typed`` so both
+engines answer the identical question (see ``scv.machine``).
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from ..conc.interp import Interp, InterpTimeout, PrimBlame, RuntimeFault
+from ..core import (
+    Machine,
+    ProofSystem,
+    SearchStats,
+    TypeError_,
+    check_program,
+    construct,
+    find_errors,
+    pp,
+)
+from ..core.heap import reset_locs
+from ..core.syntax import reset_labels as reset_core_labels
+from ..lang.ast import Program
+from ..lang.ast import reset_labels as reset_surface_labels
+from ..lang.parser import ParseError, parse_program
+from ..lang.sexp import ReadError
+from ..scv import (
+    SMachine,
+    USearchStats,
+    collect_struct_types,
+    construct_u,
+    find_known_blames,
+    inject_program,
+    uses_contracts,
+)
+from ..scv.machine import reset_syn_labels
+from .lower import LowerError, lower_program, raise_expr
+from .report import (
+    STATUS_COUNTEREXAMPLE,
+    STATUS_ERROR,
+    STATUS_NO_MODEL,
+    STATUS_SAFE,
+    STATUS_TIMEOUT,
+    STATUS_TRUNCATED,
+    STATUS_UNSUPPORTED,
+    CexReport,
+    ProgramResult,
+)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Budgets and knobs shared by every program in a batch."""
+
+    max_states: int = 50_000  # symbolic search budget
+    fuel: int = 200_000  # concrete validation step budget
+    timeout_s: float = 30.0  # per-program wall clock
+    max_cex_attempts: int = 20  # error states to try to model before giving up
+    mode: str = "implications"  # heap translation mode (paper Fig. 4)
+    jobs: int = 1  # worker processes
+
+
+class _Deadline(Exception):
+    """Raised inside a worker when the per-program wall clock expires."""
+
+
+@contextmanager
+def _deadline(seconds: float):
+    """Arm a wall-clock alarm around a block (POSIX main thread only;
+    elsewhere the block simply runs unbounded)."""
+    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise _Deadline()
+
+    try:
+        old = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:  # not in the main thread
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def _reset_counters() -> None:
+    # Labels and heap locations are only unique per program; restarting
+    # the counters per verification makes reports (and solver model
+    # choices) reproducible regardless of worker assignment.
+    reset_surface_labels()
+    reset_core_labels()
+    reset_syn_labels()
+    reset_locs()
+
+
+class Backend(Protocol):
+    """A verification engine, selectable via ``--backend``."""
+
+    name: str
+
+    def verify(
+        self,
+        source: str,
+        *,
+        name: str = "<input>",
+        kind: str = "?",
+        config: Optional[RunConfig] = None,
+    ) -> ProgramResult:
+        ...
+
+
+class _ResultBuilder:
+    """Shared bookkeeping: wall clock, counters, result assembly."""
+
+    def __init__(self, backend: str, name: str, kind: str) -> None:
+        self.backend = backend
+        self.name = name
+        self.kind = kind
+        self.t0 = time.perf_counter()
+
+    def done(self, status: str, *, states: int, proof_queries: int,
+             solver_queries: int, **kw) -> ProgramResult:
+        return ProgramResult(
+            name=self.name,
+            kind=self.kind,
+            status=status,
+            wall_ms=(time.perf_counter() - self.t0) * 1000,
+            backend=self.backend,
+            states_explored=states,
+            proof_queries=proof_queries,
+            solver_queries=solver_queries,
+            **kw,
+        )
+
+
+class TypedCoreBackend:
+    """The typed §3 SPCF pipeline (the seed driver's only path)."""
+
+    name = "core"
+
+    def verify(
+        self,
+        source: str,
+        *,
+        name: str = "<input>",
+        kind: str = "?",
+        config: Optional[RunConfig] = None,
+    ) -> ProgramResult:
+        cfg = config or RunConfig()
+        _reset_counters()
+        stats = SearchStats()
+        proof = ProofSystem(mode=cfg.mode)
+        rb = _ResultBuilder(self.name, name, kind)
+
+        def done(status: str, **kw) -> ProgramResult:
+            return rb.done(
+                status,
+                states=stats.states_explored,
+                proof_queries=proof.queries,
+                solver_queries=proof.solver_queries,
+                **kw,
+            )
+
+        try:
+            program = parse_program(source)
+            core = lower_program(program)
+            check_program(core)
+        except (ParseError, ReadError, LowerError, TypeError_) as exc:
+            return done(STATUS_UNSUPPORTED, detail=f"{type(exc).__name__}: {exc}")
+
+        errors_found = 0
+        attempts = 0
+        try:
+            with _deadline(cfg.timeout_s):
+                machine = Machine(proof)
+                for result in find_errors(
+                    core, machine=machine, max_states=cfg.max_states, stats=stats
+                ):
+                    errors_found += 1
+                    if attempts >= cfg.max_cex_attempts:
+                        break  # enough unmodelable errors: give up
+                    attempts += 1
+                    cex = construct(
+                        core,
+                        result.state,
+                        mode=cfg.mode,
+                        validate=True,
+                        fuel=cfg.fuel,
+                    )
+                    if cex is None or not cex.validated:
+                        continue
+                    conc_ok = _surface_revalidate(
+                        program, cex.bindings, cex.err.label, cfg.fuel
+                    )
+                    return done(
+                        STATUS_COUNTEREXAMPLE,
+                        errors_found=errors_found,
+                        cex_attempts=attempts,
+                        counterexample=CexReport(
+                            bindings={
+                                label: pp(v) for label, v in cex.bindings.items()
+                            },
+                            err_label=cex.err.label,
+                            err_op=cex.err.op,
+                            validated_core=bool(cex.validated),
+                            validated_conc=conc_ok,
+                        ),
+                    )
+        except _Deadline:
+            return done(
+                STATUS_TIMEOUT,
+                errors_found=errors_found,
+                cex_attempts=attempts,
+                detail=f"wall clock exceeded {cfg.timeout_s:g}s",
+            )
+        except Exception as exc:  # driver bug or engine stuck-state
+            return done(
+                STATUS_ERROR,
+                errors_found=errors_found,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+
+        if errors_found:
+            return done(
+                STATUS_NO_MODEL, errors_found=errors_found, cex_attempts=attempts,
+                detail="error states found but none had a validated model",
+            )
+        if stats.truncated:
+            return done(
+                STATUS_TRUNCATED,
+                detail=f"state budget {cfg.max_states} exhausted without an answer",
+            )
+        return done(STATUS_SAFE)
+
+
+def _surface_revalidate(
+    program: Program, bindings: dict, err_label: str, fuel: int
+) -> bool:
+    """Independent oracle for the core backend: instantiate the
+    *surface* program with the counterexample and confirm the surface
+    interpreter blames the same source label."""
+    opaque_exprs = {label: raise_expr(v) for label, v in bindings.items()}
+    interp = Interp(fuel=fuel)
+    try:
+        interp.run_program(program, opaque_exprs=opaque_exprs)
+    except PrimBlame as blame:
+        return blame.label == err_label
+    except (RuntimeFault, InterpTimeout):
+        return False
+    return False
+
+
+class UntypedScvBackend:
+    """The untyped §4 pipeline — contracts, modules, blame and all."""
+
+    name = "scv"
+
+    def verify(
+        self,
+        source: str,
+        *,
+        name: str = "<input>",
+        kind: str = "?",
+        config: Optional[RunConfig] = None,
+    ) -> ProgramResult:
+        cfg = config or RunConfig()
+        _reset_counters()
+        stats = USearchStats()
+        rb = _ResultBuilder(self.name, name, kind)
+        proof_queries = solver_queries = 0
+
+        def done(status: str, **kw) -> ProgramResult:
+            return rb.done(
+                status,
+                states=stats.states_explored,
+                proof_queries=proof_queries,
+                solver_queries=solver_queries,
+                **kw,
+            )
+
+        try:
+            program = parse_program(source)
+        except (ParseError, ReadError) as exc:
+            return done(STATUS_UNSUPPORTED, detail=f"{type(exc).__name__}: {exc}")
+
+        machine = SMachine(
+            struct_types=collect_struct_types(program),
+            assume_well_typed=not uses_contracts(program),
+        )
+        errors_found = 0
+        attempts = 0
+        try:
+            with _deadline(cfg.timeout_s):
+                init = inject_program(program, machine)
+                for blame_state in find_known_blames(
+                    init, machine, max_states=cfg.max_states, stats=stats
+                ):
+                    errors_found += 1
+                    if attempts >= cfg.max_cex_attempts:
+                        break
+                    attempts += 1
+                    cex = construct_u(
+                        program, blame_state, validate=True, fuel=cfg.fuel
+                    )
+                    if cex is None or cex.validated is False:
+                        continue
+                    proof_queries = machine.proof.queries
+                    solver_queries = machine.proof.solver_queries
+                    blame = cex.blame
+                    return done(
+                        STATUS_COUNTEREXAMPLE,
+                        errors_found=errors_found,
+                        cex_attempts=attempts,
+                        counterexample=CexReport(
+                            bindings={
+                                label: repr(v)
+                                for label, v in cex.bindings.items()
+                            },
+                            err_label=blame.label,
+                            err_op=f"{blame.party}: {blame.description}",
+                            validated_core=None,  # scv has one oracle
+                            validated_conc=cex.validated,
+                        ),
+                    )
+        except _Deadline:
+            proof_queries = machine.proof.queries
+            solver_queries = machine.proof.solver_queries
+            return done(
+                STATUS_TIMEOUT,
+                errors_found=errors_found,
+                cex_attempts=attempts,
+                detail=f"wall clock exceeded {cfg.timeout_s:g}s",
+            )
+        except Exception as exc:  # driver bug or engine stuck-state
+            proof_queries = machine.proof.queries
+            solver_queries = machine.proof.solver_queries
+            return done(
+                STATUS_ERROR,
+                errors_found=errors_found,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+
+        proof_queries = machine.proof.queries
+        solver_queries = machine.proof.solver_queries
+        if errors_found:
+            return done(
+                STATUS_NO_MODEL, errors_found=errors_found, cex_attempts=attempts,
+                detail="blame states found but none had a validated model",
+            )
+        if stats.truncated:
+            return done(
+                STATUS_TRUNCATED,
+                detail=f"state budget {cfg.max_states} exhausted without an answer",
+            )
+        return done(STATUS_SAFE)
+
+
+BACKENDS: dict[str, Backend] = {
+    "core": TypedCoreBackend(),
+    "scv": UntypedScvBackend(),
+}
+
+#: Accepted values for the CLI ``--backend`` flag.
+BACKEND_CHOICES = (*BACKENDS, "both")
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r} (have: {', '.join(BACKENDS)})"
+        ) from None

@@ -1,12 +1,24 @@
 """The seeded benchmark corpus.
 
-Thirty-two small higher-order programs in the surface syntax, arranged as
-safe/buggy pairs in the style of the paper's §5 evaluation: each buggy
-variant seeds exactly the kind of fault the tool exists to find (a
-reachable partial-primitive application), and each safe variant guards
-it so that every symbolic path is provably error-free.
+Forty-eight small higher-order programs in the surface syntax, arranged
+as safe/buggy pairs in the style of the paper's §5 evaluation: each
+buggy variant seeds exactly the kind of fault the tool exists to find
+(a reachable partial-primitive application or contract violation), and
+each safe variant guards it so that every symbolic path is provably
+error-free.
 
-Corpus discipline (see ``driver.lower``):
+Two sections:
+
+* the **shared subset** (32 programs) stays contract-free and
+  SPCF-expressible, runs on both backends, and is the cross-check
+  population for ``--backend both``;
+* the **contract section** (16 programs, tag ``contracts``, backend
+  ``scv`` only) exercises what only the untyped engine can express:
+  flat/dependent/higher-order/data/struct/or contracts on module
+  boundaries, opaque imports, and the numeric-tower ``number?`` vs
+  ``real?`` distinction behind the paper's ``0+1i`` counterexamples.
+
+Shared-subset discipline (see ``driver.lower``):
 
 * programs stay inside the SPCF-expressible subset — numbers, first-class
   functions, ``if``/``let``/``cond``/``and``-style sugar, bounded
@@ -36,13 +48,19 @@ _ABS = "(define (my-abs x) (if (< x 0) (- 0 x) x))\n"
 
 @dataclass(frozen=True)
 class CorpusProgram:
-    """One benchmark: a source text plus its expected verdict."""
+    """One benchmark: a source text plus its expected verdict.
+
+    ``backends`` annotates which verification engines the program is
+    meant for: the contract-free subset runs on both (and ``--backend
+    both`` cross-checks their verdicts), while module/contract programs
+    are expressible only by the untyped ``scv`` engine."""
 
     name: str
     kind: str  # SAFE or BUGGY
     source: str
     description: str
     tags: tuple[str, ...] = ()
+    backends: tuple[str, ...] = ("core", "scv")
 
     @property
     def is_buggy(self) -> bool:
@@ -55,6 +73,18 @@ def _safe(name, source, description, *tags):
 
 def _buggy(name, source, description, *tags):
     return CorpusProgram(name, BUGGY, source, description, tuple(tags))
+
+
+def _safe_scv(name, source, description, *tags):
+    return CorpusProgram(
+        name, SAFE, source, description, ("contracts", *tags), ("scv",)
+    )
+
+
+def _buggy_scv(name, source, description, *tags):
+    return CorpusProgram(
+        name, BUGGY, source, description, ("contracts", *tags), ("scv",)
+    )
 
 
 CORPUS: tuple[CorpusProgram, ...] = (
@@ -300,6 +330,151 @@ CORPUS: tuple[CorpusProgram, ...] = (
         "|x| + 1 is never zero, so the error branch is dead",
         "first-order",
     ),
+    # ------------------------------------------------------------------
+    # Contract-bearing module benchmarks (§4–5): expressible only by the
+    # untyped scv backend.  Each module faces a *demonic client* — an
+    # unknown context that probes every provided value — so a buggy
+    # verdict means "some well-behaved client can make this module (or
+    # an unknown import) go wrong", the paper's headline question.
+    # ------------------------------------------------------------------
+    _buggy_scv(
+        "ctc-range-shift",
+        "(module m\n"
+        "  (define (shift x) (- x 10))\n"
+        "  (provide [shift (-> positive? positive?)]))",
+        "positive? range broken: x - 10 is nonpositive for small x",
+        "smoke", "flat",
+    ),
+    _safe_scv(
+        "ctc-range-shift-up",
+        "(module m\n"
+        "  (define (shift x) (+ x 10))\n"
+        "  (provide [shift (-> positive? positive?)]))",
+        "x + 10 stays positive whenever x is",
+        "smoke", "flat",
+    ),
+    _buggy_scv(
+        "dep-range-bump",
+        "(module m\n"
+        "  (define (bump n) (- n 1))\n"
+        "  (provide [bump (->d ([n exact-nonnegative-integer?]) (>/c n))]))",
+        "dependent range: n - 1 never exceeds n",
+        "dependent",
+    ),
+    _safe_scv(
+        "dep-range-bump-up",
+        "(module m\n"
+        "  (define (bump n) (+ n 1))\n"
+        "  (provide [bump (->d ([n exact-nonnegative-integer?]) (>/c n))]))",
+        "dependent range: n + 1 always exceeds n",
+        "dependent",
+    ),
+    _buggy_scv(
+        "opaque-import-div",
+        "(module m\n"
+        "  (define-opaque g (-> integer? integer?))\n"
+        "  (define (use n) (quotient 100 (g n)))\n"
+        "  (provide [use (-> integer? integer?)]))",
+        "the opaque import's integer? range admits zero denominators",
+        "smoke", "opaque-module",
+    ),
+    _safe_scv(
+        "opaque-import-div-pos",
+        "(module m\n"
+        "  (define-opaque g (-> integer? positive?))\n"
+        "  (define (use n) (quotient 100 (g n)))\n"
+        "  (provide [use (-> integer? integer?)]))",
+        "strengthening g's range to positive? protects the division",
+        "opaque-module",
+    ),
+    _buggy_scv(
+        "ho-domain-apply",
+        "(module m\n"
+        "  (define (apply-at f) (quotient 100 (f 7)))\n"
+        "  (provide [apply-at (-> (-> integer? integer?) integer?)]))",
+        "a contracted callback may still return zero at 7",
+        "higher-order-ctc",
+    ),
+    _safe_scv(
+        "ho-domain-apply-guarded",
+        "(module m\n"
+        "  (define (my-abs x) (if (< x 0) (- 0 x) x))\n"
+        "  (define (apply-at f) (quotient 100 (add1 (my-abs (f 7)))))\n"
+        "  (provide [apply-at (-> (-> integer? integer?) integer?)]))",
+        "|f(7)| + 1 is positive for every contracted callback",
+        "higher-order-ctc",
+    ),
+    _buggy_scv(
+        "tower-number-compare",
+        "(module m\n"
+        "  (define (smaller a b) (if (< a b) a b))\n"
+        "  (provide [smaller (-> number? number? number?)]))",
+        "§5.2-style: number? admits 0+1i, which < rejects",
+        "tower",
+    ),
+    _safe_scv(
+        "tower-real-compare",
+        "(module m\n"
+        "  (define (smaller a b) (if (< a b) a b))\n"
+        "  (provide [smaller (-> real? real? real?)]))",
+        "tightening the domains to real? makes < total here",
+        "tower",
+    ),
+    _buggy_scv(
+        "listof-head-div",
+        "(module m\n"
+        "  (define (avg-head xs) (quotient 100 (car xs)))\n"
+        "  (provide [avg-head\n"
+        "            (-> (cons/c integer? (listof integer?)) integer?)]))",
+        "the contracted head may be zero",
+        "data-ctc",
+    ),
+    _safe_scv(
+        "listof-head-div-guarded",
+        "(module m\n"
+        "  (define (avg-head xs)\n"
+        "    (if (zero? (car xs)) 1 (quotient 100 (car xs))))\n"
+        "  (provide [avg-head (-> (cons/c integer? any/c) integer?)]))",
+        "the zero head is tested away; the lazy any/c tail keeps the "
+        "demonic list walk finite (listof on a safe module diverges "
+        "without widening, §4.5)",
+        "data-ctc",
+    ),
+    _buggy_scv(
+        "struct-posn-invx",
+        "(module geom\n"
+        "  (struct posn (x y))\n"
+        "  (define (inv-x p) (quotient 100 (posn-x p)))\n"
+        "  (provide [inv-x (-> (struct/c posn integer? integer?) integer?)]))",
+        "struct/c only pins field types; x may still be zero",
+        "struct-ctc",
+    ),
+    _safe_scv(
+        "struct-posn-invx-guarded",
+        "(module geom\n"
+        "  (struct posn (x y))\n"
+        "  (define (inv-x p)\n"
+        "    (if (zero? (posn-x p)) 1 (quotient 100 (posn-x p))))\n"
+        "  (provide [inv-x (-> (struct/c posn integer? integer?) integer?)]))",
+        "the zero field is tested away before dividing",
+        "struct-ctc",
+    ),
+    _buggy_scv(
+        "orc-scale",
+        "(module m\n"
+        "  (define (scale v) (if (boolean? v) 0 (quotient 100 v)))\n"
+        "  (provide [scale (-> (or/c boolean? integer?) integer?)]))",
+        "the integer disjunct of or/c includes zero",
+        "or-ctc",
+    ),
+    _safe_scv(
+        "orc-scale-shifted",
+        "(module m\n"
+        "  (define (scale v) (if (boolean? v) 0 (add1 v)))\n"
+        "  (provide [scale (-> (or/c boolean? integer?) integer?)]))",
+        "the non-boolean disjunct is total arithmetic",
+        "or-ctc",
+    ),
 )
 
 
@@ -314,10 +489,18 @@ def get_program(name: str) -> CorpusProgram:
         raise KeyError(f"no corpus program named {name!r}") from None
 
 
-def corpus_names(*, kind: str | None = None, tag: str | None = None) -> list[str]:
-    """Names of corpus programs, optionally filtered by kind or tag."""
+def corpus_names(
+    *,
+    kind: str | None = None,
+    tag: str | None = None,
+    backend: str | None = None,
+) -> list[str]:
+    """Names of corpus programs, optionally filtered by kind, tag, or
+    supporting backend."""
     return [
         p.name
         for p in CORPUS
-        if (kind is None or p.kind == kind) and (tag is None or tag in p.tags)
+        if (kind is None or p.kind == kind)
+        and (tag is None or tag in p.tags)
+        and (backend is None or backend in p.backends)
     ]

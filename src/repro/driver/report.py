@@ -1,10 +1,21 @@
 """Benchmark report schema and rendering.
 
-The batch runner emits one :class:`ProgramResult` per corpus program and
-aggregates them into a :class:`BenchReport`, serialised as
-``BENCH_driver.json``.  The JSON shape is versioned (``schema``) and kept
-deliberately flat and sorted so that per-PR diffs of the benchmark file
-are meaningful and the perf trajectory can be tracked across commits.
+The batch runner emits one :class:`ProgramResult` per (program,
+backend) pair and aggregates them into a :class:`BenchReport`,
+serialised as ``BENCH_driver.json``.  The JSON shape is versioned
+(``schema``) and kept deliberately flat and sorted so that per-PR diffs
+of the benchmark file are meaningful and the perf trajectory can be
+tracked across commits.
+
+Schema ``repro-bench/v2`` (the multi-backend revision):
+
+* every program row carries a ``backend`` field (``core`` or ``scv``);
+* ``backends`` holds per-backend totals (counts, states, solver
+  queries, wall time) so the two engines' cost profiles diff cleanly;
+* ``agreement`` records the cross-check: for every program both
+  backends ran, their verdicts must not *conflict* (one proving safe
+  while the other exhibits a counterexample).  Inconclusive statuses
+  (timeout, truncation, no-model) neither agree nor disagree.
 """
 
 from __future__ import annotations
@@ -13,7 +24,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-SCHEMA = "repro-bench/v1"
+SCHEMA = "repro-bench/v2"
 
 # Terminal statuses a verification attempt can end in.
 STATUS_SAFE = "safe"  # search exhausted, no (modelable) error
@@ -21,18 +32,26 @@ STATUS_COUNTEREXAMPLE = "counterexample"  # confirmed concrete input found
 STATUS_NO_MODEL = "no-counterexample"  # errors seen, none modelable/validated
 STATUS_TRUNCATED = "truncated"  # state budget hit before an answer
 STATUS_TIMEOUT = "timeout"  # wall-clock budget hit
-STATUS_UNSUPPORTED = "unsupported"  # outside the lowerable subset
+STATUS_UNSUPPORTED = "unsupported"  # outside the backend's subset
 STATUS_ERROR = "error"  # driver-level failure (bug!)
+
+#: Statuses that constitute a definite verdict for cross-checking.
+_CONCLUSIVE = (STATUS_SAFE, STATUS_COUNTEREXAMPLE)
 
 
 @dataclass
 class CexReport:
-    """A confirmed (or attempted) counterexample, rendered for humans."""
+    """A confirmed (or attempted) counterexample, rendered for humans.
+
+    Validation flags are three-valued: True/False record a re-run's
+    outcome, None records that the oracle was skipped (the scv backend
+    skips both for demonic-context counterexamples, which have no
+    concrete client to re-run)."""
 
     bindings: dict[str, str]  # opaque label -> pretty value
     err_label: str
     err_op: str
-    validated_core: bool  # re-run under core.concrete (Theorem 1)
+    validated_core: Optional[bool]  # re-run under the symbolic backend's oracle
     validated_conc: Optional[bool]  # re-run under conc.interp (None: skipped)
 
 
@@ -42,6 +61,7 @@ class ProgramResult:
     kind: str  # expected verdict: "safe" | "buggy" (or "?" for ad-hoc files)
     status: str
     wall_ms: float
+    backend: str = "core"
     states_explored: int = 0
     proof_queries: int = 0
     solver_queries: int = 0
@@ -59,10 +79,27 @@ class ProgramResult:
             return (
                 self.status == STATUS_COUNTEREXAMPLE
                 and self.counterexample is not None
-                and self.counterexample.validated_core
+                and self.counterexample.validated_core is not False
                 and self.counterexample.validated_conc is not False
             )
         return None
+
+
+def _totals(results: list[ProgramResult]) -> dict:
+    expected = [r.as_expected for r in results]
+    return {
+        "programs": len(results),
+        "as_expected": sum(1 for e in expected if e),
+        "unexpected": sum(1 for e in expected if e is False),
+        "safe": sum(1 for r in results if r.status == STATUS_SAFE),
+        "counterexamples": sum(
+            1 for r in results if r.status == STATUS_COUNTEREXAMPLE
+        ),
+        "timeouts": sum(1 for r in results if r.status == STATUS_TIMEOUT),
+        "states_explored": sum(r.states_explored for r in results),
+        "solver_queries": sum(r.solver_queries for r in results),
+        "wall_ms": round(sum(r.wall_ms for r in results), 1),
+    }
 
 
 @dataclass
@@ -71,33 +108,59 @@ class BenchReport:
     results: list[ProgramResult] = field(default_factory=list)
 
     def totals(self) -> dict:
-        n = len(self.results)
-        expected = [r.as_expected for r in self.results]
+        return _totals(self.results)
+
+    def backend_names(self) -> list[str]:
+        return sorted({r.backend for r in self.results})
+
+    def backend_totals(self) -> dict[str, dict]:
         return {
-            "programs": n,
-            "as_expected": sum(1 for e in expected if e),
-            "unexpected": sum(1 for e in expected if e is False),
-            "safe": sum(1 for r in self.results if r.status == STATUS_SAFE),
-            "counterexamples": sum(
-                1 for r in self.results if r.status == STATUS_COUNTEREXAMPLE
-            ),
-            "timeouts": sum(1 for r in self.results if r.status == STATUS_TIMEOUT),
-            "states_explored": sum(r.states_explored for r in self.results),
-            "solver_queries": sum(r.solver_queries for r in self.results),
-            "wall_ms": round(sum(r.wall_ms for r in self.results), 1),
+            b: _totals([r for r in self.results if r.backend == b])
+            for b in self.backend_names()
+        }
+
+    def agreement(self) -> dict:
+        """Cross-check verdicts between backends on shared programs."""
+        by_name: dict[str, dict[str, str]] = {}
+        for r in self.results:
+            by_name.setdefault(r.name, {})[r.backend] = r.status
+        shared = {n: v for n, v in by_name.items() if len(v) > 1}
+        disagreements = []
+        agreed = 0
+        inconclusive = 0
+        for n, verdicts in sorted(shared.items()):
+            conclusive = {s for s in verdicts.values() if s in _CONCLUSIVE}
+            if len(conclusive) > 1:
+                disagreements.append({"name": n, "verdicts": verdicts})
+            elif any(s not in _CONCLUSIVE for s in verdicts.values()):
+                inconclusive += 1
+            else:
+                agreed += 1
+        return {
+            "shared_programs": len(shared),
+            "agreed": agreed,
+            "inconclusive": inconclusive,
+            "disagreements": disagreements,
         }
 
     @property
     def all_as_expected(self) -> bool:
         return all(r.as_expected is not False for r in self.results)
 
+    @property
+    def backends_agree(self) -> bool:
+        return not self.agreement()["disagreements"]
+
     def to_json(self) -> dict:
         return {
             "schema": SCHEMA,
             "config": self.config,
             "totals": self.totals(),
+            "backends": self.backend_totals(),
+            "agreement": self.agreement(),
             "programs": [
-                asdict(r) for r in sorted(self.results, key=lambda r: r.name)
+                asdict(r)
+                for r in sorted(self.results, key=lambda r: (r.name, r.backend))
             ],
         }
 
@@ -121,6 +184,8 @@ _STATUS_MARK = {
     STATUS_ERROR: "!",
 }
 
+_VALIDATION_WORD = {True: "ok", False: "FAILED", None: "skipped"}
+
 
 def render_result(r: ProgramResult, *, verbose: bool = False) -> str:
     mark = _STATUS_MARK.get(r.status, "?")
@@ -128,7 +193,7 @@ def render_result(r: ProgramResult, *, verbose: bool = False) -> str:
     if r.as_expected is False:
         flag = "  << UNEXPECTED"
     line = (
-        f"{mark} {r.name:28s} {r.status:16s} "
+        f"{mark} {r.name:28s} {r.backend:4s} {r.status:16s} "
         f"{r.states_explored:6d} states {r.solver_queries:4d} solver "
         f"{r.wall_ms:8.1f} ms{flag}"
     )
@@ -137,10 +202,8 @@ def render_result(r: ProgramResult, *, verbose: bool = False) -> str:
         parts = [f"    • [{k}] = {v}" for k, v in sorted(cex.bindings.items())]
         parts.append(
             f"    breaks with {cex.err_op} at {cex.err_label} "
-            f"(core: {'ok' if cex.validated_core else 'FAILED'}, "
-            f"surface: "
-            + {True: "ok", False: "FAILED", None: "skipped"}[cex.validated_conc]
-            + ")"
+            f"(core: {_VALIDATION_WORD[cex.validated_core]}, "
+            f"surface: {_VALIDATION_WORD[cex.validated_conc]})"
         )
         line += "\n" + "\n".join(parts)
     if r.detail and (verbose or r.status in (STATUS_ERROR, STATUS_UNSUPPORTED)):
@@ -151,14 +214,23 @@ def render_result(r: ProgramResult, *, verbose: bool = False) -> str:
 def render_report(report: BenchReport, *, verbose: bool = False) -> str:
     lines = [
         render_result(r, verbose=verbose)
-        for r in sorted(report.results, key=lambda r: r.name)
+        for r in sorted(report.results, key=lambda r: (r.name, r.backend))
     ]
     t = report.totals()
     lines.append(
-        f"-- {t['programs']} programs: {t['safe']} safe, "
+        f"-- {t['programs']} runs: {t['safe']} safe, "
         f"{t['counterexamples']} counterexamples, {t['timeouts']} timeouts; "
         f"{t['unexpected']} unexpected verdicts; "
         f"{t['states_explored']} states, {t['solver_queries']} solver calls, "
         f"{t['wall_ms']:.0f} ms total"
     )
+    agreement = report.agreement()
+    if agreement["shared_programs"]:
+        dis = agreement["disagreements"]
+        lines.append(
+            f"-- cross-check: {agreement['agreed']}/{agreement['shared_programs']} "
+            f"shared programs agree, {agreement['inconclusive']} inconclusive, "
+            f"{len(dis)} disagreements"
+            + ("" if not dis else ": " + ", ".join(d["name"] for d in dis))
+        )
     return "\n".join(lines)

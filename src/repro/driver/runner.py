@@ -1,122 +1,32 @@
 """End-to-end verification of one program, and the parallel batch runner.
 
-Per program (``verify_source``):
-
-1. ``lang.parser`` reads the surface text (one parse, reused throughout —
-   blame labels are minted by the parse, so both engines must see the
-   same ones);
-2. ``driver.lower`` bridges it into SPCF core and ``core.typecheck``
-   sanity-checks the inferred types;
-3. ``core.search`` breadth-first-explores the nondeterministic machine,
-   stopping at error answers;
-4. for each error state ``core.counterexample.construct`` translates the
-   heap (Fig. 4), asks the solver for a model, reconstructs concrete
-   inputs, and ``check_counterexample`` re-runs them under
-   ``core.concrete`` (the Theorem 1 check);
-5. the confirmed counterexample is additionally re-run under the
-   *surface* interpreter ``conc.interp`` — an independent oracle that
-   must blame the same source label.
-
-The batch runner (``run_corpus``) fans programs out over a
-``multiprocessing`` pool; each worker enforces a per-program wall-clock
-budget with ``SIGALRM`` so a pathological program degrades to a
-``timeout`` row instead of wedging the run.
+``verify_source`` dispatches one surface program to a verification
+:mod:`backend <repro.driver.backends>` (``core`` — the typed §3 SPCF
+pipeline — or ``scv`` — the untyped §4 contract pipeline).  The batch
+runner (``run_corpus``) expands the requested backend selection into
+(program, backend) tasks — ``both`` runs every program on every backend
+it is annotated for and the report cross-checks the verdicts — and fans
+the tasks out over a ``multiprocessing`` pool; each worker enforces a
+per-program wall-clock budget with ``SIGALRM`` so a pathological
+program degrades to a ``timeout`` row instead of wedging the run.
 """
 
 from __future__ import annotations
 
-import signal
-import time
-from contextlib import contextmanager
-from dataclasses import asdict, dataclass
+from dataclasses import asdict
 from typing import Callable, Iterable, Optional
 
-from ..conc.interp import Interp, InterpTimeout, PrimBlame, RuntimeFault
-from ..core import (
-    Machine,
-    ProofSystem,
-    SearchStats,
-    TypeError_,
-    check_program,
-    construct,
-    find_errors,
-    pp,
-)
-from ..core.heap import reset_locs
-from ..core.syntax import reset_labels as reset_core_labels
-from ..lang.ast import Program
-from ..lang.ast import reset_labels as reset_surface_labels
-from ..lang.parser import ParseError, parse_program
-from ..lang.sexp import ReadError
+from .backends import BACKENDS, RunConfig, get_backend
 from .corpus import CORPUS, CorpusProgram, get_program
-from .lower import LowerError, lower_program, raise_expr
-from .report import (
-    STATUS_COUNTEREXAMPLE,
-    STATUS_ERROR,
-    STATUS_NO_MODEL,
-    STATUS_SAFE,
-    STATUS_TIMEOUT,
-    STATUS_TRUNCATED,
-    STATUS_UNSUPPORTED,
-    BenchReport,
-    CexReport,
-    ProgramResult,
-)
+from .report import BenchReport, ProgramResult
 
-
-@dataclass(frozen=True)
-class RunConfig:
-    """Budgets and knobs shared by every program in a batch."""
-
-    max_states: int = 50_000  # symbolic search budget
-    fuel: int = 200_000  # concrete validation step budget
-    timeout_s: float = 30.0  # per-program wall clock
-    max_cex_attempts: int = 20  # error states to try to model before giving up
-    mode: str = "implications"  # heap translation mode (paper Fig. 4)
-    jobs: int = 1  # worker processes
-
-
-class _Deadline(Exception):
-    """Raised inside a worker when the per-program wall clock expires."""
-
-
-@contextmanager
-def _deadline(seconds: float):
-    """Arm a wall-clock alarm around a block (POSIX main thread only;
-    elsewhere the block simply runs unbounded)."""
-    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
-        yield
-        return
-    def _on_alarm(signum, frame):
-        raise _Deadline()
-    try:
-        old = signal.signal(signal.SIGALRM, _on_alarm)
-    except ValueError:  # not in the main thread
-        yield
-        return
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, old)
-
-
-def _surface_revalidate(
-    program: Program, bindings: dict, err_label: str, fuel: int
-) -> bool:
-    """Independent oracle: instantiate the *surface* program with the
-    counterexample and confirm the surface interpreter blames the same
-    source label."""
-    opaque_exprs = {label: raise_expr(v) for label, v in bindings.items()}
-    interp = Interp(fuel=fuel)
-    try:
-        interp.run_program(program, opaque_exprs=opaque_exprs)
-    except PrimBlame as blame:
-        return blame.label == err_label
-    except (RuntimeFault, InterpTimeout):
-        return False
-    return False
+__all__ = [
+    "RunConfig",
+    "expand_tasks",
+    "run_corpus",
+    "verify_program",
+    "verify_source",
+]
 
 
 def verify_source(
@@ -125,109 +35,41 @@ def verify_source(
     name: str = "<input>",
     kind: str = "?",
     config: Optional[RunConfig] = None,
+    backend: str = "core",
 ) -> ProgramResult:
-    """Run the whole pipeline on one surface program."""
-    cfg = config or RunConfig()
-    # Labels and heap locations are only unique per program; restarting
-    # the counters here makes reports (and solver model choices)
-    # reproducible regardless of worker assignment.
-    reset_surface_labels()
-    reset_core_labels()
-    reset_locs()
-    t0 = time.perf_counter()
-    stats = SearchStats()
-    proof = ProofSystem(mode=cfg.mode)
-
-    def done(status: str, **kw) -> ProgramResult:
-        return ProgramResult(
-            name=name,
-            kind=kind,
-            status=status,
-            wall_ms=(time.perf_counter() - t0) * 1000,
-            states_explored=stats.states_explored,
-            proof_queries=proof.queries,
-            solver_queries=proof.solver_queries,
-            **kw,
-        )
-
-    try:
-        program = parse_program(source)
-        core = lower_program(program)
-        check_program(core)
-    except (ParseError, ReadError, LowerError, TypeError_) as exc:
-        return done(STATUS_UNSUPPORTED, detail=f"{type(exc).__name__}: {exc}")
-
-    errors_found = 0
-    attempts = 0
-    try:
-        with _deadline(cfg.timeout_s):
-            machine = Machine(proof)
-            for result in find_errors(
-                core, machine=machine, max_states=cfg.max_states, stats=stats
-            ):
-                errors_found += 1
-                if attempts >= cfg.max_cex_attempts:
-                    break  # enough unmodelable errors: give up on this one
-                attempts += 1
-                cex = construct(
-                    core,
-                    result.state,
-                    mode=cfg.mode,
-                    validate=True,
-                    fuel=cfg.fuel,
-                )
-                if cex is None or not cex.validated:
-                    continue
-                conc_ok = _surface_revalidate(
-                    program, cex.bindings, cex.err.label, cfg.fuel
-                )
-                return done(
-                    STATUS_COUNTEREXAMPLE,
-                    errors_found=errors_found,
-                    cex_attempts=attempts,
-                    counterexample=CexReport(
-                        bindings={
-                            label: pp(v) for label, v in cex.bindings.items()
-                        },
-                        err_label=cex.err.label,
-                        err_op=cex.err.op,
-                        validated_core=bool(cex.validated),
-                        validated_conc=conc_ok,
-                    ),
-                )
-    except _Deadline:
-        return done(
-            STATUS_TIMEOUT,
-            errors_found=errors_found,
-            cex_attempts=attempts,
-            detail=f"wall clock exceeded {cfg.timeout_s:g}s",
-        )
-    except Exception as exc:  # driver bug or engine stuck-state: report, not crash
-        return done(
-            STATUS_ERROR,
-            errors_found=errors_found,
-            detail=f"{type(exc).__name__}: {exc}",
-        )
-
-    if errors_found:
-        return done(
-            STATUS_NO_MODEL, errors_found=errors_found, cex_attempts=attempts,
-            detail="error states found but none had a validated model",
-        )
-    if stats.truncated:
-        return done(
-            STATUS_TRUNCATED,
-            detail=f"state budget {cfg.max_states} exhausted without an answer",
-        )
-    return done(STATUS_SAFE)
+    """Run the selected backend's whole pipeline on one surface program."""
+    return get_backend(backend).verify(source, name=name, kind=kind, config=config)
 
 
 def verify_program(
-    prog: CorpusProgram, config: Optional[RunConfig] = None
+    prog: CorpusProgram,
+    config: Optional[RunConfig] = None,
+    *,
+    backend: str = "core",
 ) -> ProgramResult:
     return verify_source(
-        prog.source, name=prog.name, kind=prog.kind, config=config
+        prog.source, name=prog.name, kind=prog.kind, config=config,
+        backend=backend,
     )
+
+
+def expand_tasks(
+    names: Iterable[str], backend: str
+) -> list[tuple[str, str]]:
+    """(program, backend) pairs for a backend selection.
+
+    ``both`` runs each program on every backend its corpus annotation
+    supports; a single backend name runs the programs annotated for it
+    and silently skips the rest (e.g. contract-bearing scv-only
+    benchmarks under ``--backend core``)."""
+    tasks: list[tuple[str, str]] = []
+    for n in names:
+        prog = get_program(n)
+        if backend == "both":
+            tasks.extend((n, b) for b in prog.backends)
+        elif backend in prog.backends:
+            tasks.append((n, backend))
+    return tasks
 
 
 # ---------------------------------------------------------------------------
@@ -244,9 +86,10 @@ def _init_worker(cfg_fields: dict) -> None:
     _WORKER_CFG = RunConfig(**cfg_fields)
 
 
-def _run_one(name: str) -> ProgramResult:
+def _run_one(task: tuple[str, str]) -> ProgramResult:
     assert _WORKER_CFG is not None
-    return verify_program(get_program(name), _WORKER_CFG)
+    name, backend = task
+    return verify_program(get_program(name), _WORKER_CFG, backend=backend)
 
 
 def run_corpus(
@@ -254,21 +97,27 @@ def run_corpus(
     *,
     config: Optional[RunConfig] = None,
     progress: Optional[Callable[[ProgramResult], None]] = None,
+    backend: str = "core",
 ) -> BenchReport:
-    """Verify a set of corpus programs, fanning out over ``config.jobs``
-    worker processes (sequentially when ``jobs`` is 1)."""
+    """Verify a set of corpus programs on the selected backend(s),
+    fanning out over ``config.jobs`` worker processes (sequentially when
+    ``jobs`` is 1)."""
     cfg = config or RunConfig()
+    if backend != "both" and backend not in BACKENDS:
+        get_backend(backend)  # raises with the helpful message
     todo = list(names) if names is not None else [p.name for p in CORPUS]
     for n in todo:
         get_program(n)  # fail fast on unknown names
+    tasks = expand_tasks(todo, backend)
 
     report = BenchReport(
-        config={**asdict(cfg), "programs": len(todo)},
+        config={**asdict(cfg), "backend": backend, "programs": len(todo),
+                "runs": len(tasks)},
     )
 
-    if cfg.jobs <= 1 or len(todo) <= 1:
-        for n in todo:
-            r = _run_one_with(cfg, n)
+    if cfg.jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            r = _run_one_with(cfg, task)
             report.results.append(r)
             if progress is not None:
                 progress(r)
@@ -278,16 +127,17 @@ def run_corpus(
 
     ctx = mp.get_context()
     with ctx.Pool(
-        processes=min(cfg.jobs, len(todo)),
+        processes=min(cfg.jobs, len(tasks)),
         initializer=_init_worker,
         initargs=(asdict(cfg),),
     ) as pool:
-        for r in pool.imap_unordered(_run_one, todo, chunksize=1):
+        for r in pool.imap_unordered(_run_one, tasks, chunksize=1):
             report.results.append(r)
             if progress is not None:
                 progress(r)
     return report
 
 
-def _run_one_with(cfg: RunConfig, name: str) -> ProgramResult:
-    return verify_program(get_program(name), cfg)
+def _run_one_with(cfg: RunConfig, task: tuple[str, str]) -> ProgramResult:
+    name, backend = task
+    return verify_program(get_program(name), cfg, backend=backend)

@@ -1,21 +1,46 @@
 """Symbolic execution for the untyped contract language (§4–5).
 
-Public surface of the scaled-up machine.  Note the current state of the
-subsystem: :class:`SMachine` stepping is implemented, but its δ-relation
-(``scv.delta``) and proof system (``scv.proof``) are still open items —
-constructing an ``SMachine`` without passing ``proof=`` explicitly will
-fail until they land.  The batch driver therefore routes corpus programs
-through the typed §3 pipeline (``driver.lower`` → ``core``) for now.
+The subsystem is complete end-to-end: :class:`SMachine` steps the
+untyped CESK machine, ``scv.delta`` supplies its primitive relation,
+``scv.proof`` its tag/integer proof system, ``scv.engine`` assembles
+whole programs (modules, contract boundaries, the demonic client) and
+searches them, and ``scv.counterexample`` turns blame states into
+concrete, surface-validated inputs.  The batch driver exposes all of
+this as the ``scv`` backend (``python -m repro --backend scv``).
 """
 
+from .counterexample import UCounterexample, check_u, construct_u, opaque_labels
+from .engine import (
+    USearchStats,
+    assemble,
+    collect_struct_types,
+    explore_u,
+    find_known_blames,
+    inject_program,
+    uses_contracts,
+)
 from .heap import UHeap
 from .machine import Blame, SMachine, SState, is_known_label, syn_label
+from .proof import UProofSystem, translate_uheap
 
 __all__ = [
     "Blame",
     "SMachine",
     "SState",
+    "UCounterexample",
     "UHeap",
+    "UProofSystem",
+    "USearchStats",
+    "assemble",
+    "check_u",
+    "collect_struct_types",
+    "construct_u",
+    "explore_u",
+    "find_known_blames",
+    "inject_program",
     "is_known_label",
+    "opaque_labels",
     "syn_label",
+    "translate_uheap",
+    "uses_contracts",
 ]

@@ -1,0 +1,296 @@
+"""Counterexample construction for the untyped machine — §3.5 for §4.
+
+At a blame state the heap records everything the path assumed about the
+program's unknowns: tag narrowings, numeric refinements, materialised
+shapes, and ``UCase`` memo tables for unknown functions.  A model of the
+integer fragment (``scv.proof.translate_uheap``) pins the base values;
+the rest is read off the heap structurally:
+
+* opaque scalars take their model value (or a representative of their
+  narrowed tag — ``0+1i`` for a provably-nonreal number, the paper's
+  favourite witness);
+* ``UCase`` tables become nested-``if`` lambdas over ``equal?`` tests;
+* materialised pairs/boxes/structs are rebuilt with constructors;
+* havoc wrapper closures are concretised by substituting their heap
+  locations.
+
+Validation re-runs the *surface* program under ``conc.interp`` with the
+reconstructed bindings and demands blame at the same source label.  For
+module programs the erring context is the synthesised demonic client,
+which has no concrete counterpart to re-run — those counterexamples
+report ``validated=None`` (skipped), the honest boundary of this PR
+(concrete demonic-context reconstruction is future work, tracked in
+docs/ARCHITECTURE.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..conc.interp import (
+    ContractBlame,
+    Interp,
+    InterpTimeout,
+    PrimBlame,
+    RuntimeFault,
+    UserAbort,
+)
+from ..core.heap import PNot
+from ..core.syntax import Loc
+from ..lang.ast import (
+    Program,
+    Quote,
+    UApp,
+    UBegin,
+    UExpr,
+    UIf,
+    ULam,
+    ULetrec,
+    UOpaque,
+    USet,
+    UVar,
+    subexprs_u,
+)
+from ..lang.sexp import Symbol
+from ..smt import get_model, mk_var
+from .engine import CLIENT_LABEL
+from .heap import (
+    PEqDatum,
+    TAG_BOOLEAN,
+    TAG_INTEGER,
+    TAG_NONREAL,
+    TAG_NULL,
+    TAG_PAIR,
+    TAG_PROCEDURE,
+    TAG_RATREAL,
+    TAG_STRING,
+    TAG_SYMBOL,
+    UBoxS,
+    UCase,
+    UClos,
+    UConc,
+    UCtc,
+    UGuard,
+    UHeap,
+    UOpq,
+    UPair,
+    UPrim,
+    UStruct,
+)
+from .machine import Blame, SState, ULocE
+from .proof import translate_uheap
+
+
+class UReconstructionError(Exception):
+    """The heap value cannot be concretised (cycle, or a behaviourful
+    value with no surface counterpart)."""
+
+
+@dataclass
+class UCounterexample:
+    """Concrete bindings for every program unknown, plus the blame they
+    provoke."""
+
+    bindings: dict[str, UExpr]  # opaque label / import name -> surface expr
+    blame: Blame
+    validated: Optional[bool] = None  # None = surface re-run skipped
+
+    def __repr__(self) -> str:
+        rows = ", ".join(f"•^{k} = {v!r}" for k, v in self.bindings.items())
+        return f"UCounterexample({rows}; {self.blame!r})"
+
+
+def opaque_labels(program: Program) -> list[str]:
+    """Every unknown the program binds: top-level/definition ``•``
+    labels plus module opaque-import names."""
+    labels: list[str] = []
+    exprs: list[UExpr] = []
+    if program.main is not None:
+        exprs.append(program.main)
+    for m in program.modules:
+        exprs.extend(e for _, e in m.definitions)
+        labels.extend(name for name, _ in m.opaques)
+    for e in exprs:
+        for sub in subexprs_u(e):
+            if isinstance(sub, UOpaque):
+                labels.append(sub.label)
+    return labels
+
+
+class UReconstructor:
+    """Concretises heap locations under a first-order model."""
+
+    def __init__(self, heap: UHeap, model) -> None:
+        self.heap = heap
+        self.model = model
+        self._memo: dict[Loc, UExpr] = {}
+        self._in_progress: set[Loc] = set()
+
+    def loc_value(self, l: Loc) -> UExpr:
+        target, _ = self.heap.deref(l)
+        if target in self._memo:
+            return self._memo[target]
+        if target in self._in_progress:
+            raise UReconstructionError(f"cyclic heap reference at {target.name}")
+        self._in_progress.add(target)
+        try:
+            out = self._build(target)
+        finally:
+            self._in_progress.discard(target)
+        self._memo[target] = out
+        return out
+
+    def _build(self, l: Loc) -> UExpr:
+        s = self.heap.get(l)
+        if isinstance(s, UConc):
+            return Quote(s.value)
+        if isinstance(s, UPair):
+            return _capp("cons", self.loc_value(s.car), self.loc_value(s.cdr))
+        if isinstance(s, UStruct):
+            return _capp(s.type.name, *(self.loc_value(f) for f in s.fields))
+        if isinstance(s, UBoxS):
+            return _capp("box", self.loc_value(s.content))
+        if isinstance(s, UOpq):
+            return self._build_opq(l, s)
+        if isinstance(s, UCase):
+            return self._build_case(s)
+        if isinstance(s, UClos):
+            if s.env.frame:  # pragma: no cover - roots never close over state
+                raise UReconstructionError("closure over non-empty environment")
+            return self._concretize(s.lam)
+        if isinstance(s, (UGuard, UPrim, UCtc)):
+            raise UReconstructionError(f"no surface form for {s!r}")
+        raise UReconstructionError(f"cannot reconstruct {s!r}")
+
+    def _build_opq(self, l: Loc, s: UOpq) -> UExpr:
+        for p in s.preds:
+            if isinstance(p, PEqDatum):
+                return Quote(p.datum)
+        if TAG_INTEGER in s.possible:
+            return Quote(self.model[mk_var(l.name)])
+        if TAG_BOOLEAN in s.possible:
+            if PNot(PEqDatum(False)) in s.preds:
+                return Quote(True)
+            return Quote(False)
+        if TAG_NULL in s.possible:
+            return Quote([])
+        if TAG_RATREAL in s.possible:
+            return Quote(0.5)
+        if TAG_NONREAL in s.possible:
+            # The paper's 0+1i: passes number?, fails every comparison.
+            return Quote(complex(0, 1))
+        if TAG_STRING in s.possible:
+            return Quote("")
+        if TAG_SYMBOL in s.possible:
+            return Quote(Symbol("sym"))
+        if TAG_PROCEDURE in s.possible:
+            return ULam((".z",), Quote(0))
+        if TAG_PAIR in s.possible:
+            return _capp("cons", Quote(0), Quote([]))
+        raise UReconstructionError(f"no representative for {s!r}")
+
+    def _build_case(self, s: UCase) -> UExpr:
+        params = tuple(f".x{i}" for i in range(s.arity))
+        entries: list[tuple[tuple[UExpr, ...], UExpr]] = []
+        for key, out in s.mapping:
+            try:
+                keys = tuple(self.loc_value(k) for k in key)
+                entries.append((keys, self.loc_value(out)))
+            except UReconstructionError:
+                continue  # unmodelable entry: subsumed by the default
+        default: UExpr = entries[0][1] if entries else Quote(0)
+        body = default
+        for keys, out in reversed(entries):
+            test: UExpr = Quote(True)
+            for p, k in reversed(list(zip(params, keys))):
+                test = UIf(_capp("equal?", UVar(p), k), test, Quote(False))
+            body = UIf(test, out, body)
+        return ULam(params, body)
+
+    def _concretize(self, e: UExpr) -> UExpr:
+        """Substitute heap locations inside a (havoc-synthesised)
+        expression by their concrete values."""
+        if isinstance(e, ULocE):
+            return self.loc_value(e.loc)
+        if isinstance(e, (Quote, UVar, UOpaque)):
+            return e
+        if isinstance(e, ULam):
+            return ULam(e.params, self._concretize(e.body), e.name)
+        if isinstance(e, UApp):
+            return UApp(
+                self._concretize(e.fn),
+                tuple(self._concretize(a) for a in e.args),
+                e.label,
+            )
+        if isinstance(e, UIf):
+            return UIf(
+                self._concretize(e.test),
+                self._concretize(e.then),
+                self._concretize(e.orelse),
+            )
+        if isinstance(e, UBegin):
+            return UBegin(tuple(self._concretize(x) for x in e.exprs))
+        if isinstance(e, ULetrec):
+            return ULetrec(
+                tuple((n, self._concretize(x)) for n, x in e.bindings),
+                self._concretize(e.body),
+            )
+        if isinstance(e, USet):
+            return USet(e.name, self._concretize(e.value))
+        raise UReconstructionError(f"cannot concretise {e!r}")
+
+
+def _capp(prim: str, *args: UExpr) -> UApp:
+    return UApp(UVar(prim), tuple(args), label="cex")
+
+
+def construct_u(
+    program: Program,
+    state: SState,
+    *,
+    validate: bool = True,
+    fuel: int = 200_000,
+) -> Optional[UCounterexample]:
+    """Build (and, for module-free programs, validate) a counterexample
+    from a known-blame state.  Returns None when the heap's integer
+    fragment has no model (a spurious path)."""
+    blame = state.control
+    assert isinstance(blame, Blame)
+    model = get_model(translate_uheap(state.heap))
+    if model is None:
+        return None
+    recon = UReconstructor(state.heap, model)
+    bindings: dict[str, UExpr] = {}
+    for label in opaque_labels(program):
+        if label == CLIENT_LABEL:
+            continue
+        root = Loc(f"o:{label}")
+        if root in state.heap:
+            try:
+                bindings[label] = recon.loc_value(root)
+            except UReconstructionError:
+                bindings[label] = Quote(0)
+        else:
+            bindings[label] = Quote(0)  # irrelevant to this error
+    cex = UCounterexample(bindings, blame)
+    if validate and not program.modules:
+        cex.validated = check_u(program, cex, fuel=fuel)
+    return cex
+
+
+def check_u(program: Program, cex: UCounterexample, *, fuel: int = 200_000) -> bool:
+    """Re-run the instantiated surface program concretely and confirm
+    blame lands at the same source site."""
+    interp = Interp(fuel=fuel)
+    try:
+        interp.run_program(program, opaque_exprs=cex.bindings)
+    except PrimBlame as b:
+        return b.label == cex.blame.label
+    except UserAbort as b:
+        return b.label == cex.blame.label
+    except ContractBlame as b:
+        return b.party == cex.blame.party or b.label == cex.blame.label
+    except (RuntimeFault, InterpTimeout, RecursionError):
+        return False
+    return False

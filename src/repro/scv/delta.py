@@ -1,0 +1,1556 @@
+"""The untyped primitive relation δ — paper Fig. 3 lifted to §4.
+
+Where the typed δ (``core.delta``) only needs integers, the untyped δ
+relates heaps and *tagged* values.  Every rule follows the same recipe:
+
+1. **Concrete fast path** — when every argument reifies to a concrete
+   Racket value, the rule *delegates to the very primitives the concrete
+   interpreter runs* (``lang.prims``): one implementation, two engines.
+   A ``PrimError`` raised there becomes blame at the application label.
+2. **Tag split** — opaque arguments branch on their possible tags: one
+   blame branch per way the precondition can fail (the untyped machine's
+   new error source), one ok branch with the argument narrowed.  Under
+   ``assume_well_typed`` (used when cross-checking against the typed §3
+   backend on the contract-free corpus) the blame branches are
+   suppressed and only the narrowing is kept.
+3. **Integer refinement** — narrowed numeric arguments take the integer
+   instantiation and results carry ``PEq`` refinements over heap terms,
+   confining solver reasoning to LIA exactly as §5.3 prescribes.
+
+Higher-order and inductive primitives (``map``, ``listof`` walks,
+``even?``...) are not implemented directly: they *synthesise* checking
+code out of simpler primitives (``OEval``), the same move the monitor
+makes for compound contracts (§4.3) — "the semantics of contract
+checking itself breaks down complex and higher-order contracts into
+simple predicates".
+
+Known divergence (shared with ``core.delta`` and documented in the
+corpus discipline): symbolic ``quotient``/``modulo`` constraints use the
+solver's Euclidean ``div``/``mod``, which differs from Racket's
+truncating/floor semantics on negative operands; concrete validation
+filters any spurious model this admits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional
+
+from ..core.heap import HConst, HLoc, HOp, HTerm, PEq, PLe, PLt, PNot, Pred, PZero
+from ..core.proof import Verdict
+from ..core.syntax import Loc
+from ..lang.ast import Quote, UApp, UExpr, UIf, ULam, ULetrec, UVar
+from ..lang.prims import PrimError, UserError, base_primitives
+from ..lang.sexp import Symbol
+from ..lang.values import NIL, Nil, Pair, StructVal, VOID, Void, racket_equal
+from .heap import (
+    NUMBER_TAGS,
+    PEqDatum,
+    REAL_TAGS,
+    TAG_BOOLEAN,
+    TAG_BOX,
+    TAG_INTEGER,
+    TAG_NONREAL,
+    TAG_NULL,
+    TAG_PAIR,
+    TAG_PROCEDURE,
+    TAG_RATREAL,
+    TAG_STRING,
+    TAG_SYMBOL,
+    TAG_VOID,
+    UBoxS,
+    UCase,
+    UClos,
+    UConc,
+    UCtc,
+    UGuard,
+    UHeap,
+    UOpq,
+    UPair,
+    UPrim,
+    UStoreable,
+    UStruct,
+    UStructCtor,
+    struct_tag,
+)
+
+_PRIMS = base_primitives()
+
+
+# ---------------------------------------------------------------------------
+# Outcomes — the codomain of δ
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Outcome:
+    pass
+
+
+@dataclass(frozen=True)
+class OValue(Outcome):
+    """Allocate ``storeable`` and continue with its location."""
+
+    heap: UHeap
+    storeable: UStoreable
+    effort: int = 0
+
+
+@dataclass(frozen=True)
+class OLoc(Outcome):
+    """Continue with an existing location (e.g. ``car`` of a pair)."""
+
+    heap: UHeap
+    loc: Loc
+    effort: int = 0
+
+
+@dataclass(frozen=True)
+class OBlame(Outcome):
+    """The primitive's precondition failed on this branch."""
+
+    heap: UHeap
+    party: str
+    label: str
+    description: str
+
+
+@dataclass(frozen=True)
+class OEval(Outcome):
+    """Continue by evaluating synthesised code (§4.3-style expansion)."""
+
+    heap: UHeap
+    expr: UExpr
+    env: object  # MEnv; untyped to avoid the machine ↔ delta import cycle
+    effort: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Tags of concrete things
+# ---------------------------------------------------------------------------
+
+
+def datum_tag(v: object) -> Optional[str]:
+    """Primary tag of a concrete immediate."""
+    if isinstance(v, bool):
+        return TAG_BOOLEAN
+    if isinstance(v, int):
+        return TAG_INTEGER
+    if isinstance(v, Fraction):
+        return TAG_INTEGER if v.denominator == 1 else TAG_RATREAL
+    if isinstance(v, float):
+        return TAG_RATREAL
+    if isinstance(v, complex):
+        return TAG_NONREAL
+    if isinstance(v, str):
+        return TAG_STRING
+    if isinstance(v, Symbol):
+        return TAG_SYMBOL
+    if isinstance(v, Nil):
+        return TAG_NULL
+    if isinstance(v, Void):
+        return TAG_VOID
+    return None
+
+
+def storeable_tag(s: UStoreable) -> Optional[str]:
+    """Primary tag of a non-opaque storeable (None: no tag, e.g. a
+    contract value — every type predicate answers ``#f`` on it)."""
+    if isinstance(s, UConc):
+        return datum_tag(s.value)
+    if isinstance(s, UPair):
+        return TAG_PAIR
+    if isinstance(s, UStruct):
+        return struct_tag(s.type.name)
+    if isinstance(s, UBoxS):
+        return TAG_BOX
+    if isinstance(s, (UClos, UPrim, UGuard, UStructCtor, UCase)):
+        return TAG_PROCEDURE
+    return None
+
+
+def _is_exact_int(v: object) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+# ---------------------------------------------------------------------------
+# Reification of concrete arguments (for delegation to lang.prims)
+# ---------------------------------------------------------------------------
+
+_UNREIFIABLE = object()
+
+
+def reify_concrete(heap: UHeap, l: Loc, depth: int = 0) -> object:
+    """The concrete Racket value at ``l``, or ``_UNREIFIABLE`` if any
+    reachable part is symbolic or behaviourful."""
+    if depth > 64:
+        return _UNREIFIABLE
+    _, s = heap.deref(l)
+    if isinstance(s, UConc):
+        if s.value is _LETREC_UNDEFINED():
+            return _UNREIFIABLE
+        return s.value
+    if isinstance(s, UPair):
+        car = reify_concrete(heap, s.car, depth + 1)
+        cdr = reify_concrete(heap, s.cdr, depth + 1)
+        if car is _UNREIFIABLE or cdr is _UNREIFIABLE:
+            return _UNREIFIABLE
+        return Pair(car, cdr)
+    if isinstance(s, UStruct):
+        fields = [reify_concrete(heap, f, depth + 1) for f in s.fields]
+        if any(f is _UNREIFIABLE for f in fields):
+            return _UNREIFIABLE
+        return StructVal(s.type, tuple(fields))
+    return _UNREIFIABLE
+
+
+def _LETREC_UNDEFINED() -> object:
+    from .machine import _UNDEFINED
+
+    return _UNDEFINED
+
+
+def alloc_value(heap: UHeap, v: object) -> tuple[Loc, UHeap]:
+    """Allocate a concrete Racket value back into the symbolic heap."""
+    if isinstance(v, Pair):
+        car, heap = alloc_value(heap, v.car)
+        cdr, heap = alloc_value(heap, v.cdr)
+        return heap.alloc(UPair(car, cdr))
+    if isinstance(v, StructVal):
+        locs = []
+        for f in v.values:
+            l, heap = alloc_value(heap, f)
+            locs.append(l)
+        return heap.alloc(UStruct(v.type, tuple(locs)))
+    return heap.alloc(UConc(v))
+
+
+class _NoApplyCtx:
+    """Delegation context: concrete fast paths never call back into an
+    interpreter — a primitive that tries has been mis-routed."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def apply(self, fn, args):  # pragma: no cover - routing invariant
+        raise RuntimeError("higher-order primitive reached the concrete "
+                           "delegation path of scv.delta")
+
+
+# ---------------------------------------------------------------------------
+# The rule context
+# ---------------------------------------------------------------------------
+
+
+class Rule:
+    """One δ-rule application: primitive + argument locations + label,
+    with the branch-building helpers every handler shares."""
+
+    def __init__(self, machine, heap: UHeap, name: str,
+                 args: tuple[Loc, ...], label: str) -> None:
+        self.m = machine
+        self.heap = heap
+        self.name = name
+        self.args = args
+        self.label = label
+
+    # -- basic lookups --------------------------------------------------
+
+    def deref(self, l: Loc, heap: Optional[UHeap] = None):
+        return (heap or self.heap).deref(l)
+
+    def conc(self, l: Loc, heap: Optional[UHeap] = None) -> object:
+        _, s = self.deref(l, heap)
+        return s.value if isinstance(s, UConc) else _UNREIFIABLE
+
+    @property
+    def typed(self) -> bool:
+        return self.m.assume_well_typed
+
+    # -- outcome constructors -------------------------------------------
+
+    def blame(self, desc: str, heap: Optional[UHeap] = None) -> OBlame:
+        return OBlame(heap or self.heap, "Λ", self.label,
+                      f"{self.name}: {desc}")
+
+    def value(self, s: UStoreable, heap: Optional[UHeap] = None,
+              effort: int = 0) -> OValue:
+        return OValue(heap or self.heap, s, effort)
+
+    def boolean(self, b: bool, heap: Optional[UHeap] = None,
+                effort: int = 0) -> OValue:
+        return self.value(UConc(bool(b)), heap, effort)
+
+    def run(self, expr: UExpr, heap: Optional[UHeap] = None,
+            effort: int = 0) -> OEval:
+        from .machine import MEnv
+
+        return OEval(heap or self.heap, expr, MEnv({}), effort)
+
+    # -- synthesis helpers ----------------------------------------------
+
+    def prim(self, name: str) -> UExpr:
+        """An expression denoting primitive ``name`` (allocated into the
+        rule's heap; synthesised code refers to it by location, never by
+        name, so user bindings cannot shadow it)."""
+        from .machine import ULocE
+
+        l, self.heap = self.heap.alloc(UPrim(name))
+        return ULocE(l)
+
+    def loc_expr(self, l: Loc) -> UExpr:
+        from .machine import ULocE
+
+        return ULocE(l)
+
+    def app(self, fn: UExpr, *args: UExpr) -> UApp:
+        from .machine import syn_label
+
+        return UApp(fn, tuple(args), label=syn_label("dl"))
+
+    def improper(self, what: str) -> UExpr:
+        from .machine import UBlameE
+
+        return UBlameE("Λ", f"{self.name}: expected proper list ({what})",
+                       self.label)
+
+    # -- concrete delegation --------------------------------------------
+
+    def all_concrete(self) -> Optional[list]:
+        vals = [reify_concrete(self.heap, a) for a in self.args]
+        if any(v is _UNREIFIABLE for v in vals):
+            return None
+        return vals
+
+    def delegate(self, vals: list) -> list[Outcome]:
+        try:
+            out = _PRIMS[self.name](vals, _NoApplyCtx(self.label))
+        except PrimError as pe:
+            return [OBlame(self.heap, "Λ", self.label,
+                           f"{pe.op}: {pe.message}")]
+        except UserError as ue:
+            return [OBlame(self.heap, "Λ", self.label, f"error: {ue.message}")]
+        l, h = alloc_value(self.heap, out)
+        return [OLoc(h, l)]
+
+    # -- tag splitting ---------------------------------------------------
+
+    def narrow_args(
+        self, locs: tuple[Loc, ...], want: frozenset[str], desc: str
+    ) -> tuple[list[tuple[UHeap, int]], list[Outcome]]:
+        """Branch each opaque argument on ``want``.  Returns the ok
+        branches (heaps with every argument narrowed into ``want``, plus
+        accumulated effort) and the blame branches.  Under the typed
+        discipline only narrowing happens — no blame branches unless an
+        argument is *definitely* outside ``want``."""
+        oks: list[tuple[UHeap, int]] = [(self.heap, 0)]
+        blames: list[Outcome] = []
+        for l in locs:
+            next_oks: list[tuple[UHeap, int]] = []
+            for heap, effort in oks:
+                target, s = heap.deref(l)
+                if not isinstance(s, UOpq):
+                    tag = storeable_tag(s)
+                    if tag in want:
+                        next_oks.append((heap, effort))
+                    else:
+                        blames.append(self.blame(f"{desc}, got {s!r}", heap))
+                    continue
+                inter = s.possible & want
+                if not inter:
+                    blames.append(self.blame(f"{desc}, got {s!r}", heap))
+                    continue
+                if s.possible <= want:
+                    next_oks.append((heap, effort))
+                    continue
+                next_oks.append((heap.narrow(target, want), effort + 1))
+                if not self.typed:
+                    bad = heap.narrow(target, s.possible - want)
+                    blames.append(
+                        self.blame(f"{desc}, got {self.deref(l, bad)[1]!r}",
+                                   bad)
+                    )
+            oks = next_oks
+        return oks, blames
+
+    def int_narrow(self, heap: UHeap, l: Loc) -> tuple[UHeap, Optional[Loc]]:
+        """Take the integer instantiation of a numeric argument: returns
+        the (possibly narrowed) heap and the location to mention in heap
+        terms, or None when the argument cannot be integer-sorted."""
+        target, s = heap.deref(l)
+        if isinstance(s, UConc):
+            return heap, target if _is_exact_int(s.value) else None
+        assert isinstance(s, UOpq)
+        if TAG_INTEGER not in s.possible:
+            return heap, None
+        if s.possible != frozenset({TAG_INTEGER}):
+            heap = heap.narrow(target, frozenset({TAG_INTEGER}))
+        return heap, target
+
+
+# ---------------------------------------------------------------------------
+# Handlers: arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _fold_term(op: str, terms: list[HTerm]) -> HTerm:
+    out = terms[0]
+    for t in terms[1:]:
+        out = HOp(op, (out, t))
+    return out
+
+
+def _num_term(heap: UHeap, l: Loc) -> HTerm:
+    _, s = heap.deref(l)
+    if isinstance(s, UConc) and _is_exact_int(s.value):
+        return HConst(s.value)
+    target, _ = heap.deref(l)
+    return HLoc(target)
+
+
+def _h_arith(op: str) -> Callable[[Rule], list[Outcome]]:
+    """n-ary +, -, * (and unary add1/sub1 via the dispatch wrappers)."""
+
+    def handler(r: Rule) -> list[Outcome]:
+        vals = r.all_concrete()
+        if vals is not None:
+            return r.delegate(vals)
+        if not r.args or (op == "-" and len(r.args) < 1):
+            return [r.blame("needs at least 1 argument")]
+        oks, out = r.narrow_args(r.args, NUMBER_TAGS, "expected number")
+        for heap, effort in oks:
+            locs = []
+            all_int = True
+            for a in r.args:
+                heap, il = r.int_narrow(heap, a)
+                if il is None:
+                    all_int = False
+                locs.append(il)
+            if not all_int:
+                out.append(OValue(heap, UOpq(NUMBER_TAGS), effort))
+                continue
+            terms = [_num_term(heap, a) for a in r.args]
+            if op == "-" and len(terms) == 1:
+                terms = [HConst(0), terms[0]]
+            term = _fold_term(op, terms)
+            out.append(
+                OValue(heap, UOpq(frozenset({TAG_INTEGER}), (PEq(term),)),
+                       effort)
+            )
+        return out
+
+    return handler
+
+
+def _h_add1(r: Rule) -> list[Outcome]:
+    return _offset(r, "+")
+
+
+def _h_sub1(r: Rule) -> list[Outcome]:
+    return _offset(r, "-")
+
+
+def _offset(r: Rule, op: str) -> list[Outcome]:
+    vals = r.all_concrete()
+    if vals is not None:
+        return r.delegate(vals)
+    oks, out = r.narrow_args(r.args, NUMBER_TAGS, "expected number")
+    for heap, effort in oks:
+        heap, il = r.int_narrow(heap, r.args[0])
+        if il is None:
+            out.append(OValue(heap, UOpq(NUMBER_TAGS), effort))
+            continue
+        term = HOp(op, (_num_term(heap, r.args[0]), HConst(1)))
+        out.append(
+            OValue(heap, UOpq(frozenset({TAG_INTEGER}), (PEq(term),)), effort)
+        )
+    return out
+
+
+def _h_divlike(op: str, constrain: bool) -> Callable[[Rule], list[Outcome]]:
+    """quotient / modulo / remainder: exact-integer preconditions plus
+    the canonical zero-divisor branch.  ``constrain`` attaches the
+    Euclidean ``div``/``mod`` refinement; ``remainder`` (whose truncating
+    semantics the solver cannot express) leaves the result opaque."""
+
+    def handler(r: Rule) -> list[Outcome]:
+        if len(r.args) != 2:
+            return [r.blame(f"expected 2 arguments, got {len(r.args)}")]
+        vals = r.all_concrete()
+        if vals is not None:
+            return r.delegate(vals)
+        oks, out = r.narrow_args(
+            r.args, frozenset({TAG_INTEGER}), "expected exact integer"
+        )
+        for heap, effort in oks:
+            num, den = r.args
+            dv = r.conc(den, heap)
+            if dv is not _UNREIFIABLE:
+                if dv == 0:
+                    out.append(r.blame("division by zero", heap))
+                    continue
+                out.append(_div_ok(r, heap, effort, op, constrain))
+                continue
+            dt, _ = heap.deref(den)
+            verdict = r.m.proof.check(heap, dt, PZero())
+            if verdict is Verdict.PROVED:
+                out.append(r.blame("division by zero", heap))
+                continue
+            if verdict is Verdict.REFUTED:
+                out.append(_div_ok(r, heap, effort, op, constrain))
+                continue
+            out.append(
+                r.blame("division by zero", heap.refine(dt, PZero()))
+            )
+            out.append(
+                _div_ok(r, heap.refine(dt, PNot(PZero())), effort + 1, op,
+                        constrain)
+            )
+        return out
+
+    return handler
+
+
+def _div_ok(r: Rule, heap: UHeap, effort: int, op: str,
+            constrain: bool) -> OValue:
+    preds: tuple[Pred, ...] = ()
+    if constrain:
+        term = HOp(op, (_num_term(heap, r.args[0]), _num_term(heap, r.args[1])))
+        preds = (PEq(term),)
+    return OValue(heap, UOpq(frozenset({TAG_INTEGER}), preds), effort)
+
+
+def _h_slash(r: Rule) -> list[Outcome]:
+    """``/`` — zero check, but results leave the integer fragment."""
+    vals = r.all_concrete()
+    if vals is not None:
+        return r.delegate(vals)
+    oks, out = r.narrow_args(r.args, NUMBER_TAGS, "expected number")
+    for heap, effort in oks:
+        den = r.args[-1]
+        dv = r.conc(den, heap)
+        if dv is not _UNREIFIABLE and dv == 0:
+            out.append(r.blame("division by zero", heap))
+            continue
+        dt, ds = heap.deref(den)
+        if isinstance(ds, UOpq):
+            heap2, il = r.int_narrow(heap, den)
+            if il is not None:
+                out.append(r.blame("division by zero",
+                                   heap2.refine(il, PZero())))
+                heap = heap2.refine(il, PNot(PZero()))
+                effort += 1
+        out.append(OValue(heap, UOpq(NUMBER_TAGS), effort))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Handlers: comparisons and numeric predicates
+# ---------------------------------------------------------------------------
+
+
+def _flip_for_rhs(op: str, v1: int) -> Pred:
+    if op == "=":
+        return PEq(HConst(v1))
+    if op == "<":
+        return PNot(PLe(HConst(v1)))
+    if op == "<=":
+        return PNot(PLt(HConst(v1)))
+    raise ValueError(op)
+
+
+def _pred_for_lhs(op: str, heap: UHeap, l2: Loc) -> Pred:
+    t = _num_term(heap, l2)
+    if op == "=":
+        return PEq(t)
+    if op == "<":
+        return PLt(t)
+    if op == "<=":
+        return PLe(t)
+    raise ValueError(op)
+
+
+def _h_compare(op: str) -> Callable[[Rule], list[Outcome]]:
+    """Binary-normalised <, <=, = (>, >= arrive pre-swapped); n-ary uses
+    chained synthesis."""
+
+    def handler(r: Rule) -> list[Outcome]:
+        vals = r.all_concrete()
+        if vals is not None:
+            return r.delegate(vals)
+        if len(r.args) < 2:
+            return [r.blame("needs at least 2 arguments")]
+        if len(r.args) > 2:
+            parts = [
+                r.app(r.prim(r.name), r.loc_expr(a), r.loc_expr(b))
+                for a, b in zip(r.args, r.args[1:])
+            ]
+            chain: UExpr = Quote(True)
+            for p in reversed(parts):
+                chain = UIf(p, chain, Quote(False))
+            return [r.run(chain)]
+        want = NUMBER_TAGS if op == "=" else REAL_TAGS
+        oks, out = r.narrow_args(
+            r.args, want,
+            "expected number" if op == "=" else "expected real",
+        )
+        norm_op = op
+        l1, l2 = r.args
+        for heap, effort in oks:
+            heap, i1 = r.int_narrow(heap, l1)
+            heap, i2 = r.int_narrow(heap, l2)
+            if i1 is None or i2 is None:
+                out.append(OValue(heap, UOpq(frozenset({TAG_BOOLEAN})),
+                                  effort))
+                continue
+            v1, v2 = r.conc(l1, heap), r.conc(l2, heap)
+            if v1 is not _UNREIFIABLE and v2 is not _UNREIFIABLE:
+                out.append(r.boolean(_COMPARE_PY[norm_op](v1, v2), heap,
+                                     effort))
+                continue
+            if v1 is _UNREIFIABLE:
+                subject, pred = i1, _pred_for_lhs(norm_op, heap, l2)
+            else:
+                subject, pred = i2, _flip_for_rhs(norm_op, v1)
+            verdict = r.m.proof.check(heap, subject, pred)
+            if verdict is Verdict.PROVED:
+                out.append(r.boolean(True, heap, effort))
+            elif verdict is Verdict.REFUTED:
+                out.append(r.boolean(False, heap, effort))
+            else:
+                out.append(
+                    r.boolean(True, heap.refine(subject, pred), effort + 1)
+                )
+                out.append(
+                    r.boolean(False, heap.refine(subject, PNot(pred)),
+                              effort + 1)
+                )
+        return out
+
+    return handler
+
+
+_COMPARE_PY = {
+    "=": lambda a, b: a == b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+def _h_swapped(inner: Callable[[Rule], list[Outcome]]):
+    def handler(r: Rule) -> list[Outcome]:
+        if len(r.args) == 2:
+            r = Rule(r.m, r.heap, _SWAP_NAME[r.name], tuple(reversed(r.args)),
+                     r.label)
+            return inner(r)
+        vals = r.all_concrete()
+        if vals is not None:
+            return r.delegate(vals)
+        parts = [
+            r.app(r.prim(r.name), r.loc_expr(a), r.loc_expr(b))
+            for a, b in zip(r.args, r.args[1:])
+        ]
+        chain: UExpr = Quote(True)
+        for p in reversed(parts):
+            chain = UIf(p, chain, Quote(False))
+        return [r.run(chain)]
+
+    return handler
+
+
+_SWAP_NAME = {">": "<", ">=": "<="}
+
+
+def _h_sign_pred(pred_of: Callable[[], Pred]) -> Callable[[Rule], list[Outcome]]:
+    """zero? / positive? / negative? — *total* predicates: non-numbers
+    answer #f, numbers branch three ways through the proof system."""
+
+    def handler(r: Rule) -> list[Outcome]:
+        if len(r.args) != 1:
+            return [r.blame("expected 1 argument")]
+        vals = r.all_concrete()
+        if vals is not None:
+            return r.delegate(vals)
+        (l,) = r.args
+        target, s = r.deref(l)
+        if not isinstance(s, UOpq):
+            return [r.boolean(False)]  # a symbolic pair/struct is not a number
+        out: list[Outcome] = []
+        if not (s.possible & NUMBER_TAGS):
+            return [r.boolean(False)]
+        if not (s.possible <= NUMBER_TAGS):
+            out.append(
+                r.boolean(False, r.heap.narrow(target,
+                                               s.possible - NUMBER_TAGS), 1)
+            )
+            r = Rule(r.m, r.heap.narrow(target, NUMBER_TAGS), r.name, r.args,
+                     r.label)
+        heap, il = r.int_narrow(r.heap, l)
+        if il is None:
+            out.append(OValue(heap, UOpq(frozenset({TAG_BOOLEAN})), 1))
+            return out
+        p = pred_of()
+        verdict = r.m.proof.check(heap, il, p)
+        if verdict is Verdict.PROVED:
+            out.append(r.boolean(True, heap))
+        elif verdict is Verdict.REFUTED:
+            out.append(r.boolean(False, heap))
+        else:
+            out.append(r.boolean(True, heap.refine(il, p), 1))
+            out.append(r.boolean(False, heap.refine(il, PNot(p)), 1))
+        return out
+
+    return handler
+
+
+def _h_parity(test_zero: bool) -> Callable[[Rule], list[Outcome]]:
+    """even? / odd? via synthesis: ``(if (integer? x) ⟨mod test⟩ #f)``."""
+
+    def handler(r: Rule) -> list[Outcome]:
+        vals = r.all_concrete()
+        if vals is not None:
+            return r.delegate(vals)
+        (l,) = r.args
+        x = r.loc_expr(l)
+        mod2 = r.app(r.prim("modulo"), x, Quote(2))
+        test = r.app(r.prim("zero?"), mod2)
+        inner = test if test_zero else r.app(r.prim("not"), test)
+        return [r.run(UIf(r.app(r.prim("integer?"), x), inner, Quote(False)))]
+
+    return handler
+
+
+# ---------------------------------------------------------------------------
+# Handlers: type predicates
+# ---------------------------------------------------------------------------
+
+
+def _h_tag_pred(
+    tags: frozenset[str],
+    materialize: Optional[Callable[[Rule, UHeap], tuple[UStoreable, UHeap]]] = None,
+) -> Callable[[Rule], list[Outcome]]:
+    """The generic run-time type test (§4.1): concrete subjects answer
+    immediately, opaque subjects branch and *narrow*; ``materialize``
+    turns a tag-narrowed opaque into its shape (§4.2) on the yes branch
+    — once known to be a pair it *becomes* ``(cons • •)``."""
+
+    def handler(r: Rule) -> list[Outcome]:
+        if len(r.args) != 1:
+            return [r.blame("expected 1 argument")]
+        (l,) = r.args
+        target, s = r.deref(l)
+        if not isinstance(s, UOpq):
+            return [r.boolean((storeable_tag(s) or "") in tags)]
+        inter = s.possible & tags
+        if not inter:
+            return [r.boolean(False)]
+        if s.possible <= tags:
+            return [r.boolean(True)]
+        yes_heap = r.heap.narrow(target, inter)
+        if materialize is not None:
+            shape, yes_heap = materialize(r, yes_heap)
+            yes_heap = yes_heap.set(target, shape)
+        return [
+            r.boolean(True, yes_heap, 1),
+            r.boolean(False, r.heap.narrow(target, s.possible - tags), 1),
+        ]
+
+    return handler
+
+
+def _mat_pair(r: Rule, heap: UHeap) -> tuple[UStoreable, UHeap]:
+    car, heap = heap.alloc(r.m.fresh_opq())
+    cdr, heap = heap.alloc(r.m.fresh_opq())
+    return UPair(car, cdr), heap
+
+
+def _mat_null(r: Rule, heap: UHeap) -> tuple[UStoreable, UHeap]:
+    return UConc(NIL), heap
+
+
+def _mat_box(r: Rule, heap: UHeap) -> tuple[UStoreable, UHeap]:
+    content, heap = heap.alloc(r.m.fresh_opq())
+    return UBoxS(content), heap
+
+
+def _h_nonneg_int(r: Rule) -> list[Outcome]:
+    """exact-nonnegative-integer? — a tag test plus a sign refinement."""
+    if len(r.args) != 1:
+        return [r.blame("expected 1 argument")]
+    vals = r.all_concrete()
+    if vals is not None:
+        return r.delegate(vals)
+    (l,) = r.args
+    target, s = r.deref(l)
+    if not isinstance(s, UOpq):
+        return [r.boolean(False)]
+    out: list[Outcome] = []
+    if TAG_INTEGER not in s.possible:
+        return [r.boolean(False)]
+    if s.possible != frozenset({TAG_INTEGER}):
+        out.append(
+            r.boolean(
+                False,
+                r.heap.narrow(target, s.possible - frozenset({TAG_INTEGER})),
+                1,
+            )
+        )
+    heap = r.heap.narrow(target, frozenset({TAG_INTEGER}))
+    p = PLt(HConst(0))
+    verdict = r.m.proof.check(heap, target, p)
+    if verdict is Verdict.PROVED:
+        out.append(r.boolean(False, heap))
+    elif verdict is Verdict.REFUTED:
+        out.append(r.boolean(True, heap))
+    else:
+        out.append(r.boolean(False, heap.refine(target, p), 1))
+        out.append(r.boolean(True, heap.refine(target, PNot(p)), 1))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Handlers: booleans and equality
+# ---------------------------------------------------------------------------
+
+
+def _h_not(r: Rule) -> list[Outcome]:
+    if len(r.args) != 1:
+        return [r.blame("expected 1 argument")]
+    (l,) = r.args
+    target, s = r.deref(l)
+    if isinstance(s, UConc):
+        return [r.boolean(s.value is False)]
+    if not isinstance(s, UOpq):
+        return [r.boolean(False)]
+    if TAG_BOOLEAN not in s.possible:
+        return [r.boolean(False)]
+    if PEqDatum(False) in s.preds:
+        return [r.boolean(True)]
+    if PNot(PEqDatum(False)) in s.preds:
+        return [r.boolean(False)]
+    return [
+        r.boolean(True, r.heap.set(target, UConc(False)), 1),
+        r.boolean(False, r.heap.refine(target, PNot(PEqDatum(False))), 1),
+    ]
+
+
+def _h_equal(identity_structured: bool) -> Callable[[Rule], list[Outcome]]:
+    """equal? (structural) and eqv?/eq? (identity on structured data)."""
+
+    def handler(r: Rule) -> list[Outcome]:
+        if len(r.args) != 2:
+            return [r.blame(f"expected 2 arguments, got {len(r.args)}")]
+        a, b = r.args
+        ta, sa = r.deref(a)
+        tb, sb = r.deref(b)
+        if ta == tb:
+            return [r.boolean(True)]
+        if isinstance(sa, UConc) and isinstance(sb, UConc):
+            return [r.boolean(racket_equal(sa.value, sb.value))]
+        for structured, other_loc, other in ((sa, tb, sb), (sb, ta, sa)):
+            if isinstance(structured, (UPair, UStruct)):
+                if identity_structured:
+                    if isinstance(other, UOpq):
+                        break  # fall through to the generic branch
+                    return [r.boolean(False)]
+                return _equal_structural(r, structured, a if structured is sa else b,
+                                         b if structured is sa else a)
+        # Opaque vs concrete scalar: three-way on the recorded equality.
+        for opq_loc, opq, conc_loc, conc in ((ta, sa, tb, sb), (tb, sb, ta, sa)):
+            if isinstance(opq, UOpq) and isinstance(conc, UConc):
+                return _equal_datum(r, opq_loc, conc.value)
+        if isinstance(sa, UOpq) and isinstance(sb, UOpq):
+            return _equal_opq(r, ta, sa, tb, sb)
+        # Procedures / contracts vs anything else: identity already
+        # failed above.
+        if isinstance(sa, UOpq) or isinstance(sb, UOpq):
+            return [r.boolean(True, effort=1), r.boolean(False, effort=1)]
+        return [r.boolean(False)]
+
+    return handler
+
+
+def _equal_structural(r: Rule, s, al: Loc, bl: Loc) -> list[Outcome]:
+    bE = r.loc_expr(bl)
+    if isinstance(s, UPair):
+        test = r.app(r.prim("pair?"), bE)
+        same = UIf(
+            r.app(r.prim("equal?"), r.loc_expr(s.car),
+                  r.app(r.prim("car"), bE)),
+            r.app(r.prim("equal?"), r.loc_expr(s.cdr),
+                  r.app(r.prim("cdr"), bE)),
+            Quote(False),
+        )
+        return [r.run(UIf(test, same, Quote(False)))]
+    assert isinstance(s, UStruct)
+    pred = f"{s.type.name}?"
+    if pred not in r.m.struct_prims:
+        return [r.boolean(False)]
+    same: UExpr = Quote(True)
+    for i, f in reversed(list(enumerate(s.fields))):
+        acc = r.app(r.prim(f"{s.type.name}-{s.type.fields[i]}"), bE)
+        same = UIf(r.app(r.prim("equal?"), r.loc_expr(f), acc), same,
+                   Quote(False))
+    return [r.run(UIf(r.app(r.prim(pred), bE), same, Quote(False)))]
+
+
+def _equal_datum(r: Rule, l: Loc, d: object) -> list[Outcome]:
+    verdict = r.m.proof.check(r.heap, l, PEqDatum(d))
+    if verdict is Verdict.PROVED:
+        return [r.boolean(True)]
+    if verdict is Verdict.REFUTED:
+        return [r.boolean(False)]
+    dt = datum_tag(d)
+    if dt is None:
+        return [r.boolean(False)]
+    return [
+        r.boolean(True, r.heap.set(l, UConc(d)), 1),
+        r.boolean(False, r.heap.refine(l, PNot(PEqDatum(d))), 1),
+    ]
+
+
+def _equal_opq(r: Rule, ta: Loc, sa: UOpq, tb: Loc, sb: UOpq) -> list[Outcome]:
+    if not (sa.possible & sb.possible):
+        return [r.boolean(False)]
+    both_int = (sa.possible == frozenset({TAG_INTEGER})
+                and sb.possible == frozenset({TAG_INTEGER}))
+    if both_int:
+        p = PEq(HLoc(tb))
+        verdict = r.m.proof.check(r.heap, ta, p)
+        if verdict is Verdict.PROVED:
+            return [r.boolean(True)]
+        if verdict is Verdict.REFUTED:
+            return [r.boolean(False)]
+        return [
+            r.boolean(True, r.heap.refine(ta, p), 1),
+            r.boolean(False, r.heap.refine(ta, PNot(p)), 1),
+        ]
+    return [r.boolean(True, effort=1), r.boolean(False, effort=1)]
+
+
+# ---------------------------------------------------------------------------
+# Handlers: pairs, lists, boxes, structs
+# ---------------------------------------------------------------------------
+
+
+def _h_cons(r: Rule) -> list[Outcome]:
+    return [r.value(UPair(r.args[0], r.args[1]))]
+
+
+def _h_pair_sel(field: str) -> Callable[[Rule], list[Outcome]]:
+    def handler(r: Rule) -> list[Outcome]:
+        if len(r.args) != 1:
+            return [r.blame("expected 1 argument")]
+        (l,) = r.args
+        target, s = r.deref(l)
+        if isinstance(s, UPair):
+            return [OLoc(r.heap, s.car if field == "car" else s.cdr)]
+        if isinstance(s, UOpq) and TAG_PAIR in s.possible:
+            out: list[Outcome] = []
+            if s.possible != frozenset({TAG_PAIR}) and not r.typed:
+                bad = r.heap.narrow(target, s.possible - frozenset({TAG_PAIR}))
+                out.append(r.blame("expected pair", bad))
+            shape, heap = _mat_pair(r, r.heap)
+            heap = heap.set(target, shape)
+            assert isinstance(shape, UPair)
+            out.append(
+                OLoc(heap, shape.car if field == "car" else shape.cdr, 1)
+            )
+            return out
+        return [r.blame(f"expected pair, got {s!r}")]
+
+    return handler
+
+
+def _h_list(r: Rule) -> list[Outcome]:
+    heap = r.heap
+    tail, heap = heap.alloc(UConc(NIL))
+    for l in reversed(r.args):
+        tail, heap = heap.alloc(UPair(l, tail))
+    return [OLoc(heap, tail)]
+
+
+def _spine_loop(r: Rule, params: tuple[str, ...], body: UExpr,
+                *call_args: UExpr) -> list[Outcome]:
+    """``(letrec ([.go (λ params body)]) (.go call_args...))``."""
+    go = ULam(params, body, name=f"{r.name}-loop")
+    return [r.run(ULetrec(((".go", go),),
+                          r.app(UVar(".go"), *call_args)))]
+
+
+def _h_length(r: Rule) -> list[Outcome]:
+    vals = r.all_concrete()
+    if vals is not None:
+        return r.delegate(vals)
+    xs = UVar(".xs")
+    body = UIf(
+        r.app(r.prim("null?"), xs),
+        UVar(".n"),
+        UIf(
+            r.app(r.prim("pair?"), xs),
+            r.app(UVar(".go"), r.app(r.prim("cdr"), xs),
+                  r.app(r.prim("add1"), UVar(".n"))),
+            r.improper("length"),
+        ),
+    )
+    return _spine_loop(r, (".xs", ".n"), body, r.loc_expr(r.args[0]), Quote(0))
+
+
+def _h_reverse(r: Rule) -> list[Outcome]:
+    vals = r.all_concrete()
+    if vals is not None:
+        return r.delegate(vals)
+    xs = UVar(".xs")
+    body = UIf(
+        r.app(r.prim("null?"), xs),
+        UVar(".acc"),
+        UIf(
+            r.app(r.prim("pair?"), xs),
+            r.app(UVar(".go"), r.app(r.prim("cdr"), xs),
+                  r.app(r.prim("cons"), r.app(r.prim("car"), xs),
+                        UVar(".acc"))),
+            r.improper("reverse"),
+        ),
+    )
+    return _spine_loop(r, (".xs", ".acc"), body, r.loc_expr(r.args[0]),
+                       Quote([]))
+
+
+def _h_append(r: Rule) -> list[Outcome]:
+    vals = r.all_concrete()
+    if vals is not None:
+        return r.delegate(vals)
+    if not r.args:
+        return [r.value(UConc(NIL))]
+    if len(r.args) == 1:
+        return [OLoc(r.heap, r.args[0])]
+    if len(r.args) > 2:
+        rest = r.app(r.prim("append"),
+                     *[r.loc_expr(a) for a in r.args[1:]])
+        return [r.run(r.app(r.prim("append"), r.loc_expr(r.args[0]), rest))]
+    xs = UVar(".xs")
+    body = UIf(
+        r.app(r.prim("null?"), xs),
+        r.loc_expr(r.args[1]),
+        UIf(
+            r.app(r.prim("pair?"), xs),
+            r.app(r.prim("cons"), r.app(r.prim("car"), xs),
+                  r.app(UVar(".go"), r.app(r.prim("cdr"), xs))),
+            r.improper("append"),
+        ),
+    )
+    return _spine_loop(r, (".xs",), body, r.loc_expr(r.args[0]))
+
+
+def _h_list_p(r: Rule) -> list[Outcome]:
+    vals = r.all_concrete()
+    if vals is not None:
+        return r.delegate(vals)
+    xs = UVar(".xs")
+    body = UIf(
+        r.app(r.prim("null?"), xs),
+        Quote(True),
+        UIf(r.app(r.prim("pair?"), xs),
+            r.app(UVar(".go"), r.app(r.prim("cdr"), xs)),
+            Quote(False)),
+    )
+    return _spine_loop(r, (".xs",), body, r.loc_expr(r.args[0]))
+
+
+def _h_member(r: Rule) -> list[Outcome]:
+    vals = r.all_concrete()
+    if vals is not None:
+        return r.delegate(vals)
+    xs = UVar(".xs")
+    body = UIf(
+        r.app(r.prim("pair?"), xs),
+        UIf(
+            r.app(r.prim("equal?"), r.loc_expr(r.args[0]),
+                  r.app(r.prim("car"), xs)),
+            xs,
+            r.app(UVar(".go"), r.app(r.prim("cdr"), xs)),
+        ),
+        Quote(False),
+    )
+    return _spine_loop(r, (".xs",), body, r.loc_expr(r.args[1]))
+
+
+def _h_map(r: Rule) -> list[Outcome]:
+    if len(r.args) != 2:
+        return [r.blame("multi-list map is outside the symbolic subset")]
+    f, xs_loc = r.args
+    xs = UVar(".xs")
+    body = UIf(
+        r.app(r.prim("null?"), xs),
+        Quote([]),
+        UIf(
+            r.app(r.prim("pair?"), xs),
+            r.app(r.prim("cons"),
+                  r.app(r.loc_expr(f), r.app(r.prim("car"), xs)),
+                  r.app(UVar(".go"), r.app(r.prim("cdr"), xs))),
+            r.improper("map"),
+        ),
+    )
+    return _spine_loop(r, (".xs",), body, r.loc_expr(xs_loc))
+
+
+def _h_filter(r: Rule) -> list[Outcome]:
+    f, xs_loc = r.args
+    xs = UVar(".xs")
+    keep = r.app(r.prim("cons"), r.app(r.prim("car"), xs),
+                 r.app(UVar(".go"), r.app(r.prim("cdr"), xs)))
+    body = UIf(
+        r.app(r.prim("null?"), xs),
+        Quote([]),
+        UIf(
+            r.app(r.prim("pair?"), xs),
+            UIf(r.app(r.loc_expr(f), r.app(r.prim("car"), xs)), keep,
+                r.app(UVar(".go"), r.app(r.prim("cdr"), xs))),
+            r.improper("filter"),
+        ),
+    )
+    return _spine_loop(r, (".xs",), body, r.loc_expr(xs_loc))
+
+
+def _h_foldl(r: Rule) -> list[Outcome]:
+    f, init, xs_loc = r.args
+    xs = UVar(".xs")
+    body = UIf(
+        r.app(r.prim("null?"), xs),
+        UVar(".acc"),
+        UIf(
+            r.app(r.prim("pair?"), xs),
+            r.app(UVar(".go"), r.app(r.prim("cdr"), xs),
+                  r.app(r.loc_expr(f), r.app(r.prim("car"), xs),
+                        UVar(".acc"))),
+            r.improper("foldl"),
+        ),
+    )
+    return _spine_loop(r, (".xs", ".acc"), body, r.loc_expr(xs_loc),
+                       r.loc_expr(init))
+
+
+def _h_foldr(r: Rule) -> list[Outcome]:
+    f, init, xs_loc = r.args
+    xs = UVar(".xs")
+    body = UIf(
+        r.app(r.prim("null?"), xs),
+        r.loc_expr(init),
+        UIf(
+            r.app(r.prim("pair?"), xs),
+            r.app(r.loc_expr(f), r.app(r.prim("car"), xs),
+                  r.app(UVar(".go"), r.app(r.prim("cdr"), xs))),
+            r.improper("foldr"),
+        ),
+    )
+    return _spine_loop(r, (".xs",), body, r.loc_expr(xs_loc))
+
+
+def _h_andmap(r: Rule) -> list[Outcome]:
+    f, xs_loc = r.args
+    xs = UVar(".xs")
+    body = UIf(
+        r.app(r.prim("null?"), xs),
+        Quote(True),
+        UIf(
+            r.app(r.prim("pair?"), xs),
+            UIf(r.app(r.loc_expr(f), r.app(r.prim("car"), xs)),
+                r.app(UVar(".go"), r.app(r.prim("cdr"), xs)),
+                Quote(False)),
+            r.improper("andmap"),
+        ),
+    )
+    return _spine_loop(r, (".xs",), body, r.loc_expr(xs_loc))
+
+
+def _h_ormap(r: Rule) -> list[Outcome]:
+    f, xs_loc = r.args
+    xs = UVar(".xs")
+    hit = ULam(
+        (".t",),
+        UIf(UVar(".t"), UVar(".t"),
+            r.app(UVar(".go"), r.app(r.prim("cdr"), xs))),
+    )
+    body = UIf(
+        r.app(r.prim("null?"), xs),
+        Quote(False),
+        UIf(
+            r.app(r.prim("pair?"), xs),
+            r.app(hit, r.app(r.loc_expr(f), r.app(r.prim("car"), xs))),
+            r.improper("ormap"),
+        ),
+    )
+    return _spine_loop(r, (".xs",), body, r.loc_expr(xs_loc))
+
+
+def _h_box(r: Rule) -> list[Outcome]:
+    return [r.value(UBoxS(r.args[0]))]
+
+
+def _h_unbox(r: Rule) -> list[Outcome]:
+    (l,) = r.args
+    target, s = r.deref(l)
+    if isinstance(s, UBoxS):
+        return [OLoc(r.heap, s.content)]
+    if isinstance(s, UOpq) and TAG_BOX in s.possible:
+        out: list[Outcome] = []
+        if s.possible != frozenset({TAG_BOX}) and not r.typed:
+            bad = r.heap.narrow(target, s.possible - frozenset({TAG_BOX}))
+            out.append(r.blame("expected box", bad))
+        shape, heap = _mat_box(r, r.heap)
+        heap = heap.set(target, shape)
+        assert isinstance(shape, UBoxS)
+        out.append(OLoc(heap, shape.content, 1))
+        return out
+    return [r.blame(f"expected box, got {s!r}")]
+
+
+def _h_set_box(r: Rule) -> list[Outcome]:
+    l, v = r.args
+    target, s = r.deref(l)
+    if isinstance(s, UBoxS) or (
+        isinstance(s, UOpq) and s.possible == frozenset({TAG_BOX})
+    ):
+        return [r.value(UConc(VOID), r.heap.set(target, UBoxS(v)))]
+    if isinstance(s, UOpq) and TAG_BOX in s.possible:
+        out: list[Outcome] = []
+        if not r.typed:
+            bad = r.heap.narrow(target, s.possible - frozenset({TAG_BOX}))
+            out.append(r.blame("expected box", bad))
+        out.append(r.value(UConc(VOID), r.heap.set(target, UBoxS(v)), 1))
+        return out
+    return [r.blame(f"expected box, got {s!r}")]
+
+
+# ---------------------------------------------------------------------------
+# Handlers: misc
+# ---------------------------------------------------------------------------
+
+
+def _h_void(r: Rule) -> list[Outcome]:
+    return [r.value(UConc(VOID))]
+
+
+def _h_error(r: Rule) -> list[Outcome]:
+    parts = []
+    for a in r.args:
+        v = reify_concrete(r.heap, a)
+        parts.append("..." if v is _UNREIFIABLE else str(v))
+    msg = " ".join(parts) if parts else "error"
+    return [OBlame(r.heap, "Λ", r.label, f"error: {msg}")]
+
+
+def _h_generic(
+    want: frozenset[str], result: frozenset[str], desc: str
+) -> Callable[[Rule], list[Outcome]]:
+    """Fallback for scalar primitives with a uniform precondition
+    (strings, transcendental-ish numerics): delegate when concrete,
+    tag-split and return an unconstrained result otherwise."""
+
+    def handler(r: Rule) -> list[Outcome]:
+        vals = r.all_concrete()
+        if vals is not None:
+            return r.delegate(vals)
+        oks, out = r.narrow_args(r.args, want, desc)
+        for heap, effort in oks:
+            out.append(OValue(heap, UOpq(result), effort))
+        return out
+
+    return handler
+
+
+def _h_abs(r: Rule) -> list[Outcome]:
+    vals = r.all_concrete()
+    if vals is not None:
+        return r.delegate(vals)
+    x = r.loc_expr(r.args[0])
+    return [r.run(UIf(r.app(r.prim("<"), x, Quote(0)),
+                      r.app(r.prim("-"), Quote(0), x), x))]
+
+
+def _h_minmax(op: str) -> Callable[[Rule], list[Outcome]]:
+    def handler(r: Rule) -> list[Outcome]:
+        vals = r.all_concrete()
+        if vals is not None:
+            return r.delegate(vals)
+        if not r.args:
+            return [r.blame("needs at least 1 argument")]
+        a = r.loc_expr(r.args[0])
+        if len(r.args) == 1:
+            # (< a a) is always #f but forces the realness check.
+            return [r.run(UIf(r.app(r.prim("<"), a, a), a, a))]
+        b = (r.loc_expr(r.args[1]) if len(r.args) == 2
+             else r.app(r.prim(r.name), *[r.loc_expr(x) for x in r.args[1:]]))
+        pick = ULam(
+            (".a", ".b"),
+            UIf(r.app(r.prim("<"), UVar(".a"), UVar(".b")),
+                UVar(".a") if op == "min" else UVar(".b"),
+                UVar(".b") if op == "min" else UVar(".a")),
+        )
+        return [r.run(r.app(pick, a, b))]
+
+    return handler
+
+
+# ---------------------------------------------------------------------------
+# Handlers: contract constructors (values of kind UCtc, §4.3)
+# ---------------------------------------------------------------------------
+
+
+def _as_ctc_loc(r: Rule, heap: UHeap, l: Loc) -> tuple[Loc, UHeap]:
+    """Coerce a value location to a contract location, mirroring
+    ``lang.prims._as_contract``: contracts pass through, applicable
+    values become flat contracts, literals become equality contracts."""
+    target, s = heap.deref(l)
+    if isinstance(s, UCtc):
+        return target, heap
+    if isinstance(s, (UClos, UPrim, UGuard, UStructCtor, UCase, UOpq)):
+        return heap.alloc(UCtc("flat", (target,)))
+    return heap.alloc(UCtc("oneof", (target,)))
+
+
+def _ctc_parts(r: Rule, locs: tuple[Loc, ...]) -> tuple[tuple[Loc, ...], UHeap]:
+    heap = r.heap
+    parts = []
+    for l in locs:
+        p, heap = _as_ctc_loc(r, heap, l)
+        parts.append(p)
+    return tuple(parts), heap
+
+
+def _h_arrow(r: Rule) -> list[Outcome]:
+    if not r.args:
+        return [r.blame("needs at least a range contract")]
+    parts, heap = _ctc_parts(r, r.args)
+    return [r.value(UCtc("fun", parts), heap)]
+
+
+def _h_arrow_d(r: Rule) -> list[Outcome]:
+    if not r.args:
+        return [r.blame("needs domains and a range maker")]
+    doms, heap = _ctc_parts(r, r.args[:-1])
+    target, _ = heap.deref(r.args[-1])
+    return [r.value(UCtc("dep", doms + (target,)), heap)]
+
+
+def _h_ctc_nary(kind: str) -> Callable[[Rule], list[Outcome]]:
+    def handler(r: Rule) -> list[Outcome]:
+        parts, heap = _ctc_parts(r, r.args)
+        return [r.value(UCtc(kind, parts), heap)]
+
+    return handler
+
+
+def _h_one_of(r: Rule) -> list[Outcome]:
+    return [r.value(UCtc("oneof", r.args))]
+
+
+def _h_rec_ctc(r: Rule) -> list[Outcome]:
+    target, _ = r.deref(r.args[0])
+    return [r.value(UCtc("rec", (target,)))]
+
+
+def _h_cmp_ctc(op: str) -> Callable[[Rule], list[Outcome]]:
+    """``(=/c n)`` etc. — a flat contract whose predicate is synthesised
+    as ``(λ (x) (if (real? x) (op x n) #f))`` over primitive locations,
+    so the untyped machine can branch through it like any predicate."""
+
+    def handler(r: Rule) -> list[Outcome]:
+        bound, _ = r.deref(r.args[0])
+        prim = {"=": "=", "<": "<", ">": ">", "<=": "<=", ">=": ">="}[op]
+        body = UIf(
+            r.app(r.prim("real?"), UVar(".x")),
+            r.app(r.prim(prim), UVar(".x"), r.loc_expr(bound)),
+            Quote(False),
+        )
+        heap = r.heap
+        pred, heap = heap.alloc(
+            UClos(ULam((".x",), body, name=f"{op}/c"), _empty_env())
+        )
+        return [r.value(UCtc("flat", (pred,)), heap)]
+
+    return handler
+
+
+def _empty_env():
+    from .machine import MEnv
+
+    return MEnv({})
+
+
+def _h_struct_ctc(r: Rule) -> list[Outcome]:
+    if not r.args:
+        return [r.blame("needs a struct constructor")]
+    _, ctor = r.deref(r.args[0])
+    if not isinstance(ctor, UStructCtor):
+        return [r.blame(f"expected struct constructor, got {ctor!r}")]
+    if len(r.args) - 1 != len(ctor.type.fields):
+        return [r.blame(f"{ctor.type.name} has {len(ctor.type.fields)} fields")]
+    parts, heap = _ctc_parts(r, r.args[1:])
+    return [r.value(UCtc("struct", parts, stype=ctor.type), heap)]
+
+
+def _h_flat_ctc_p(r: Rule) -> list[Outcome]:
+    _, s = r.deref(r.args[0])
+    return [r.boolean(isinstance(s, UCtc) and s.kind in ("flat", "oneof"))]
+
+
+# ---------------------------------------------------------------------------
+# Struct predicates and accessors (registered per program)
+# ---------------------------------------------------------------------------
+
+
+def _struct_rule(r: Rule, role: str, stype, index: int) -> list[Outcome]:
+    if role == "pred":
+        tags = frozenset({struct_tag(stype.name)})
+
+        def mat(rule: Rule, heap: UHeap) -> tuple[UStoreable, UHeap]:
+            fields = []
+            for _ in stype.fields:
+                fl, heap = heap.alloc(rule.m.fresh_opq())
+                fields.append(fl)
+            return UStruct(stype, tuple(fields)), heap
+
+        return _h_tag_pred(tags, mat)(r)
+    (l,) = r.args
+    target, s = r.deref(l)
+    if isinstance(s, UStruct) and s.type == stype:
+        return [OLoc(r.heap, s.fields[index])]
+    tag = struct_tag(stype.name)
+    if isinstance(s, UOpq) and tag in s.possible:
+        out: list[Outcome] = []
+        if s.possible != frozenset({tag}) and not r.typed:
+            bad = r.heap.narrow(target, s.possible - frozenset({tag}))
+            out.append(r.blame(f"expected {stype.name}", bad))
+        fields = []
+        heap = r.heap
+        for _ in stype.fields:
+            fl, heap = heap.alloc(r.m.fresh_opq())
+            fields.append(fl)
+        heap = heap.set(target, UStruct(stype, tuple(fields)))
+        out.append(OLoc(heap, fields[index], 1))
+        return out
+    return [r.blame(f"expected {stype.name}, got {s!r}")]
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+_HANDLERS: dict[str, Callable[[Rule], list[Outcome]]] = {
+    "+": _h_arith("+"),
+    "-": _h_arith("-"),
+    "*": _h_arith("*"),
+    "/": _h_slash,
+    "quotient": _h_divlike("div", constrain=True),
+    "modulo": _h_divlike("mod", constrain=True),
+    "remainder": _h_divlike("mod", constrain=False),
+    "add1": _h_add1,
+    "sub1": _h_sub1,
+    "abs": _h_abs,
+    "min": _h_minmax("min"),
+    "max": _h_minmax("max"),
+    "expt": _h_generic(NUMBER_TAGS, NUMBER_TAGS, "expected number"),
+    "sqrt": _h_generic(NUMBER_TAGS, NUMBER_TAGS, "expected number"),
+    "exact->inexact": _h_generic(NUMBER_TAGS, NUMBER_TAGS, "expected number"),
+    "=": _h_compare("="),
+    "<": _h_compare("<"),
+    "<=": _h_compare("<="),
+    ">": _h_swapped(_h_compare("<")),
+    ">=": _h_swapped(_h_compare("<=")),
+    "zero?": _h_sign_pred(lambda: PZero()),
+    "positive?": _h_sign_pred(lambda: PNot(PLe(HConst(0)))),
+    "negative?": _h_sign_pred(lambda: PLt(HConst(0))),
+    "even?": _h_parity(True),
+    "odd?": _h_parity(False),
+    "number?": _h_tag_pred(NUMBER_TAGS),
+    "real?": _h_tag_pred(REAL_TAGS),
+    "rational?": _h_tag_pred(REAL_TAGS),
+    "integer?": _h_tag_pred(frozenset({TAG_INTEGER})),
+    "exact-integer?": _h_tag_pred(frozenset({TAG_INTEGER})),
+    "exact-nonnegative-integer?": _h_nonneg_int,
+    "exact?": _h_tag_pred(frozenset({TAG_INTEGER, TAG_RATREAL})),
+    "boolean?": _h_tag_pred(frozenset({TAG_BOOLEAN})),
+    "symbol?": _h_tag_pred(frozenset({TAG_SYMBOL})),
+    "string?": _h_tag_pred(frozenset({TAG_STRING})),
+    "pair?": _h_tag_pred(frozenset({TAG_PAIR}), _mat_pair),
+    "null?": _h_tag_pred(frozenset({TAG_NULL}), _mat_null),
+    "empty?": _h_tag_pred(frozenset({TAG_NULL}), _mat_null),
+    "box?": _h_tag_pred(frozenset({TAG_BOX}), _mat_box),
+    "procedure?": _h_tag_pred(frozenset({TAG_PROCEDURE})),
+    "not": _h_not,
+    "equal?": _h_equal(identity_structured=False),
+    "eqv?": _h_equal(identity_structured=True),
+    "eq?": _h_equal(identity_structured=True),
+    "void": _h_void,
+    "error": _h_error,
+    "cons": _h_cons,
+    "car": _h_pair_sel("car"),
+    "cdr": _h_pair_sel("cdr"),
+    "first": _h_pair_sel("car"),
+    "rest": _h_pair_sel("cdr"),
+    "list": _h_list,
+    "length": _h_length,
+    "append": _h_append,
+    "reverse": _h_reverse,
+    "list?": _h_list_p,
+    "member": _h_member,
+    "map": _h_map,
+    "filter": _h_filter,
+    "foldl": _h_foldl,
+    "foldr": _h_foldr,
+    "andmap": _h_andmap,
+    "ormap": _h_ormap,
+    "string-length": _h_generic(frozenset({TAG_STRING}),
+                                frozenset({TAG_INTEGER}), "expected string"),
+    "string-append": _h_generic(frozenset({TAG_STRING}),
+                                frozenset({TAG_STRING}), "expected string"),
+    "string=?": _h_generic(frozenset({TAG_STRING}),
+                           frozenset({TAG_BOOLEAN}), "expected string"),
+    "box": _h_box,
+    "unbox": _h_unbox,
+    "set-box!": _h_set_box,
+    "->": _h_arrow,
+    "make->d": _h_arrow_d,
+    "and/c": _h_ctc_nary("and"),
+    "or/c": _h_ctc_nary("or"),
+    "not/c": _h_ctc_nary("not"),
+    "cons/c": _h_ctc_nary("cons"),
+    "listof": _h_ctc_nary("listof"),
+    "list/c": _h_ctc_nary("list"),
+    "one-of/c": _h_one_of,
+    "=/c": _h_cmp_ctc("="),
+    "</c": _h_cmp_ctc("<"),
+    ">/c": _h_cmp_ctc(">"),
+    "<=/c": _h_cmp_ctc("<="),
+    ">=/c": _h_cmp_ctc(">="),
+    "make-rec-contract": _h_rec_ctc,
+    "struct/c": _h_struct_ctc,
+    "flat-contract?": _h_flat_ctc_p,
+}
+
+
+def delta_u(machine, heap: UHeap, name: str, args: tuple[Loc, ...],
+            label: str) -> list[Outcome]:
+    """All δ-branches for primitive ``name`` on ``args`` under ``heap``."""
+    r = Rule(machine, heap, name, args, label)
+    struct_entry = machine.struct_prims.get(name)
+    if struct_entry is not None:
+        role, stype, index = struct_entry
+        if len(args) != 1:
+            return [r.blame("expected 1 argument")]
+        return _struct_rule(r, role, stype, index)
+    handler = _HANDLERS.get(name)
+    if handler is not None:
+        return handler(r)
+    if name in _PRIMS:
+        vals = r.all_concrete()
+        if vals is not None:
+            return r.delegate(vals)
+        # Unmodelled primitive on symbolic input: over-approximate the
+        # value, under-approximate the errors (documented limitation).
+        return [r.value(UOpq(machine.all_tags))]
+    return [r.blame("unknown primitive")]

@@ -1,0 +1,239 @@
+"""Whole-program symbolic execution for the untyped language (§4–5).
+
+``inject_program`` assembles a surface :class:`~repro.lang.ast.Program`
+into one initial machine state:
+
+* a *base frame* binds every primitive (as a ``UPrim`` heap cell — the
+  same names ``conc.interp`` resolves), ``any/c``, ``empty``/``null``,
+  and each struct's constructor/predicate/accessors;
+* each module becomes a ``letrec`` over its opaque imports (monitored
+  by their contracts, blaming the ``•name`` party so violations by the
+  unknown import are ignored per Err-Opq) and its definitions, with the
+  contracted provides rebound to *monitored* aliases for everything
+  downstream — the Findler–Felleisen boundary;
+* the **demonic client**: when the program provides values, they are
+  passed to a fresh unknown ``(•ctx prov ...)``.  The machine's own
+  opaque-application rule then memoises and havocs them — the unknown
+  context is not special-cased, it is literally an unknown function.
+  The context location is pre-narrowed to ``procedure`` so the machine
+  never blames our synthetic client for not being callable.
+
+``explore_u``/``find_known_blames`` run the breadth-first search of
+§5.3 over the resulting nondeterministic transition system, counting
+states and flagging truncation exactly like ``core.search``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..core.syntax import Loc
+from ..lang.ast import (
+    Module,
+    Program,
+    Quote,
+    UApp,
+    UBegin,
+    UExpr,
+    ULam,
+    ULetrec,
+    UOpaque,
+    UVar,
+    subexprs_u,
+)
+from ..lang.prims import base_primitives
+from ..lang.values import NIL, StructType
+from .heap import (
+    TAG_PROCEDURE,
+    UConc,
+    UCtc,
+    UHeap,
+    UOpq,
+    UPrim,
+    UStructCtor,
+)
+from .machine import Blame, MEnv, SMachine, SState, UMon, syn_label
+
+#: The blame party of the synthesised demonic client.  Starts with "•"
+#: so that contract violations *by the client* are the unknown context's
+#: business (ignored), per the approximation relation's Err-Opq rule.
+CLIENT = "•client"
+
+#: The opaque label of the demonic client context.
+CLIENT_LABEL = "demonic-ctx"
+
+_CONTRACT_PRIMS = frozenset({
+    "->", "make->d", "and/c", "or/c", "not/c", "cons/c", "listof",
+    "list/c", "one-of/c", "=/c", "</c", ">/c", "<=/c", ">=/c",
+    "make-rec-contract", "struct/c", "any/c",
+})
+
+
+def uses_contracts(program: Program) -> bool:
+    """Does the program leave the contract-free (SPCF-expressible)
+    subset?  Modules always do — they introduce boundaries; top-level
+    programs do when they mention a contract combinator."""
+    if program.modules:
+        return True
+    if program.main is None:
+        return False
+    for e in subexprs_u(program.main):
+        if isinstance(e, UVar) and e.name in _CONTRACT_PRIMS:
+            return True
+    return False
+
+
+def collect_struct_types(program: Program) -> dict[str, StructType]:
+    return {
+        sd.name: StructType(sd.name, sd.fields)
+        for m in program.modules
+        for sd in m.structs
+    }
+
+
+def build_base_heap(machine: SMachine) -> tuple[MEnv, UHeap]:
+    """The global frame: primitives, contract constants, struct bindings."""
+    heap = UHeap.empty()
+    frame: dict[str, Loc] = {}
+
+    def bind(name: str, storeable) -> None:
+        nonlocal heap
+        l, heap = heap.alloc(storeable, prefix="g")
+        frame[name] = l
+
+    for name in base_primitives():
+        bind(name, UPrim(name))
+    bind("any/c", UCtc("any"))
+    nil_loc, heap = heap.alloc(UConc(NIL), prefix="g")
+    frame["empty"] = nil_loc
+    frame["null"] = nil_loc
+    for st in machine.struct_types.values():
+        bind(st.name, UStructCtor(st))
+        for pname in (f"{st.name}?", *(f"{st.name}-{f}" for f in st.fields)):
+            bind(pname, UPrim(pname))
+    return MEnv(frame), heap
+
+
+def _wrap_module(m: Module, body: UExpr) -> UExpr:
+    """``letrec`` the module's opaques and definitions around ``body``,
+    rebinding contracted provides to monitored aliases."""
+    bindings: list[tuple[str, UExpr]] = []
+    for oname, ctc in m.opaques:
+        raw: UExpr = UOpaque(oname)
+        if ctc is not None:
+            raw = UMon(ctc, raw, pos=f"•{oname}", neg=m.name,
+                       label=syn_label("mon"))
+        bindings.append((oname, raw))
+    bindings.extend(m.definitions)
+    monitored = [p for p in m.provides if p.contract is not None]
+    if monitored:
+        body = UApp(
+            ULam(tuple(p.name for p in monitored), body),
+            tuple(
+                UMon(p.contract, UVar(p.name), pos=m.name, neg=CLIENT,
+                     label=p.name)
+                for p in monitored
+            ),
+            label=syn_label("mon"),
+        )
+    if bindings:
+        body = ULetrec(tuple(bindings), body)
+    return body
+
+
+def assemble(program: Program) -> UExpr:
+    """The verification goal as a single expression: modules wrapped
+    around the top-level (if any) and the demonic client (if anything is
+    provided)."""
+    provided = [p.name for m in program.modules for p in m.provides]
+    parts: list[UExpr] = []
+    if provided:
+        parts.append(
+            UApp(
+                UOpaque(CLIENT_LABEL),
+                tuple(UVar(n) for n in provided),
+                label=syn_label("hv"),
+            )
+        )
+    if program.main is not None:
+        parts.append(program.main)
+    if not parts:
+        body: UExpr = Quote(False)
+    elif len(parts) == 1:
+        body = parts[0]
+    else:
+        body = UBegin(tuple(parts))
+    for m in reversed(program.modules):
+        body = _wrap_module(m, body)
+    return body
+
+
+def inject_program(program: Program, machine: SMachine) -> SState:
+    env, heap = build_base_heap(machine)
+    if any(m.provides for m in program.modules):
+        # Pre-narrow the demonic client: our synthetic context is a
+        # procedure by construction, never a blameworthy non-procedure.
+        heap = heap.set(
+            Loc(f"o:{CLIENT_LABEL}"), UOpq(frozenset({TAG_PROCEDURE}))
+        )
+    return SState(assemble(program), env, heap.frozen(), ())
+
+
+# ---------------------------------------------------------------------------
+# Search (§5.3: breadth-first over the execution graph)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class USearchStats:
+    states_explored: int = 0
+    answers: int = 0
+    blames: int = 0
+    known_blames: int = 0
+    truncated: bool = False
+
+
+def explore_u(
+    init: SState,
+    machine: SMachine,
+    *,
+    max_states: int = 50_000,
+    stats: Optional[USearchStats] = None,
+) -> Iterator[SState]:
+    """BFS over machine states, yielding answer states (values and
+    blame)."""
+    st = stats if stats is not None else USearchStats()
+    frontier: deque[SState] = deque([init])
+    while frontier:
+        if st.states_explored >= max_states:
+            st.truncated = True
+            return
+        state = frontier.popleft()
+        st.states_explored += 1
+        succs = machine.step(state)
+        if succs is None:
+            st.answers += 1
+            if isinstance(state.control, Blame):
+                st.blames += 1
+                if state.control.known:
+                    st.known_blames += 1
+            yield state
+            continue
+        frontier.extend(succs)
+
+
+def find_known_blames(
+    init: SState,
+    machine: SMachine,
+    *,
+    max_states: int = 50_000,
+    stats: Optional[USearchStats] = None,
+) -> Iterator[SState]:
+    """Answer states blaming *known* code — errors from the unknown
+    context (synthetic labels, ``•`` parties) are not findings."""
+    for state in explore_u(init, machine, max_states=max_states, stats=stats):
+        c = state.control
+        if isinstance(c, Blame) and c.known:
+            yield state

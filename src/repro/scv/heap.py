@@ -307,22 +307,44 @@ class UCase(UStoreable):
 
 
 class UHeap:
-    """Immutable symbolic heap for the untyped machine."""
+    """Immutable symbolic heap for the untyped machine.
 
-    __slots__ = ("_d",)
+    Two layers: a shared *base* (frozen once per program, holding the
+    ~90 primitive bindings and other pre-state) and a copy-on-write
+    *overlay*.  Functional updates copy only the overlay, so the cost of
+    a ``set`` is proportional to the state the program has actually
+    touched, not to the size of the primitive environment — the update
+    discipline that makes BFS over thousands of states affordable.
+    """
 
-    def __init__(self, entries: Optional[dict[Loc, UStoreable]] = None) -> None:
+    __slots__ = ("_d", "_base")
+
+    def __init__(
+        self,
+        entries: Optional[dict[Loc, UStoreable]] = None,
+        base: Optional[dict[Loc, UStoreable]] = None,
+    ) -> None:
         self._d: dict[Loc, UStoreable] = entries if entries is not None else {}
+        self._base: dict[Loc, UStoreable] = base if base is not None else {}
 
     @staticmethod
     def empty() -> "UHeap":
         return UHeap()
 
+    def frozen(self) -> "UHeap":
+        """Push the overlay into the shared base layer.  Call once after
+        building a program's initial heap; subsequent updates then copy
+        an (initially empty) overlay."""
+        return UHeap({}, {**self._base, **self._d})
+
     def get(self, l: Loc) -> UStoreable:
-        try:
-            return self._d[l]
-        except KeyError:
-            raise KeyError(f"unallocated location {l.name}") from None
+        s = self._d.get(l)
+        if s is not None:
+            return s
+        s = self._base.get(l)
+        if s is not None:
+            return s
+        raise KeyError(f"unallocated location {l.name}")
 
     def deref(self, l: Loc) -> tuple[Loc, UStoreable]:
         """Follow UAlias chains; returns (final loc, storeable)."""
@@ -337,12 +359,12 @@ class UHeap:
             l = s.target
 
     def __contains__(self, l: Loc) -> bool:
-        return l in self._d
+        return l in self._d or l in self._base
 
     def set(self, l: Loc, s: UStoreable) -> "UHeap":
         d = dict(self._d)
         d[l] = s
-        return UHeap(d)
+        return UHeap(d, self._base)
 
     def alloc(self, s: UStoreable, prefix: str = "u") -> tuple[Loc, "UHeap"]:
         l = fresh_loc(prefix)
@@ -360,11 +382,15 @@ class UHeap:
         return self.set(l, s.refined(p))
 
     def items(self) -> Iterator[tuple[Loc, UStoreable]]:
-        return iter(self._d.items())
+        """All live entries, overlay entries shadowing base ones."""
+        for k, v in self._base.items():
+            if k not in self._d:
+                yield k, v
+        yield from self._d.items()
 
     def __len__(self) -> int:
-        return len(self._d)
+        return len(self._d) + sum(1 for k in self._base if k not in self._d)
 
     def __repr__(self) -> str:
-        rows = ", ".join(f"{k.name} ↦ {v!r}" for k, v in self._d.items())
+        rows = ", ".join(f"{k.name} ↦ {v!r}" for k, v in self.items())
         return f"[{rows}]"

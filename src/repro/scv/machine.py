@@ -18,8 +18,12 @@ Design notes mirroring the paper:
   function-like argument, in which the unknown context probes that
   argument with fresh opaques.
 * **Errors from unknown code are ignored** (the approximation relation's
-  Err-Opq rule): blame whose label is synthetic (havoc-generated) does
-  not count as a finding; the driver filters on ``Blame.known``.
+  Err-Opq rule): blame that faults an *opaque party* — a ``•``-prefixed
+  unknown import or the synthesised demonic client — is the unknown
+  context's business and does not count as a finding; the driver
+  filters on ``Blame.known``.  Known parties are ``Λ`` (the program's
+  own primitive applications) and module names (contract violations by
+  known code).
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ from ..lang.ast import (
 from ..lang.sexp import Symbol
 from ..lang.values import NIL, StructType, VOID
 from .heap import (
+    BASE_TAGS,
     PEqDatum,
     TAG_BOOLEAN,
     TAG_PROCEDURE,
@@ -61,6 +66,7 @@ from .heap import (
     UStoreable,
     UStruct,
     UStructCtor,
+    struct_tag,
 )
 
 _syn_counter = itertools.count()
@@ -69,6 +75,14 @@ _syn_counter = itertools.count()
 def syn_label(prefix: str = "syn") -> str:
     """A synthetic label — blame carrying it is *unknown-code* blame."""
     return f"{prefix}:{next(_syn_counter)}"
+
+
+def reset_syn_labels() -> None:
+    """Restart the synthetic-label counter.  Labels are only unique per
+    program; the batch driver resets between programs so report rows
+    do not depend on what else ran in the same worker process."""
+    global _syn_counter
+    _syn_counter = itertools.count()
 
 
 def is_known_label(label: str) -> bool:
@@ -224,9 +238,11 @@ class Blame:
 
     @property
     def known(self) -> bool:
-        """Does this blame implicate *known* code?  Synthetic (havoc)
-        labels and opaque parties are the unknown context's business."""
-        return is_known_label(self.label) or not self.party.startswith("•")
+        """Does this blame implicate *known* code?  Blame on an opaque
+        party (``•``-prefixed: unknown imports, the demonic client) is
+        the unknown context's business and never a finding, whatever
+        label it lands on — the approximation relation's Err-Opq rule."""
+        return not self.party.startswith("•")
 
     def __repr__(self) -> str:
         return f"blame({self.party} @ {self.label}: {self.description})"
@@ -254,13 +270,44 @@ class SState:
 
 class SMachine:
     """The step function.  Stateless apart from configuration; all
-    execution state lives in :class:`SState`."""
+    execution state lives in :class:`SState`.
 
-    def __init__(self, *, proof=None, struct_types=None) -> None:
+    Configuration:
+
+    * ``proof`` — the untyped proof system (``scv.proof.UProofSystem``);
+    * ``struct_types`` — the program's struct definitions; registering
+      them widens the opaque tag universe (``all_tags``) so unknowns can
+      *be* those structs, and populates ``struct_prims`` so δ can answer
+      their predicates/accessors;
+    * ``assume_well_typed`` — the cross-check discipline: when True, tag
+      *uncertainty* on opaque values narrows silently instead of
+      spawning blame branches (matching what the §3 typed backend rules
+      out by typing), while definite tag violations and value-level
+      errors (division by zero, contract blame) still branch.  Used by
+      the driver when running the contract-free shared corpus so the
+      two backends answer the same question.
+    """
+
+    def __init__(self, *, proof=None, struct_types=None,
+                 assume_well_typed: bool = False) -> None:
         from .proof import UProofSystem
 
         self.proof = proof or UProofSystem()
-        self.struct_types: dict[str, StructType] = struct_types or {}
+        self.struct_types: dict[str, StructType] = dict(struct_types or {})
+        self.assume_well_typed = assume_well_typed
+        self.all_tags = BASE_TAGS | {
+            struct_tag(n) for n in self.struct_types
+        }
+        # prim name -> ("pred" | "accessor", StructType, field index)
+        self.struct_prims: dict[str, tuple[str, StructType, int]] = {}
+        for st in self.struct_types.values():
+            self.struct_prims[f"{st.name}?"] = ("pred", st, 0)
+            for i, f in enumerate(st.fields):
+                self.struct_prims[f"{st.name}-{f}"] = ("accessor", st, i)
+
+    def fresh_opq(self) -> UOpq:
+        """An unconstrained unknown over this program's tag universe."""
+        return UOpq(self.all_tags)
 
     # ------------------------------------------------------------------
     # Stepping
@@ -308,7 +355,7 @@ class SMachine:
             return [SState(l, env, h, kont, st.gen_effort)]
         if isinstance(e, UOpaque):
             l = Loc(f"o:{e.label}")
-            h = heap if l in heap else heap.set(l, UOpq())
+            h = heap if l in heap else heap.set(l, self.fresh_opq())
             return [SState(l, env, h, kont, st.gen_effort)]
         if isinstance(e, UIf):
             return [
@@ -562,20 +609,23 @@ class SMachine:
                     )
                 ]
             if s.possible != frozenset({TAG_PROCEDURE}):
-                # Error branch: the opaque might not be a procedure at all.
-                h_bad = heap.set(
-                    fn, UOpq(s.possible - {TAG_PROCEDURE}, s.preds)
-                )
-                out.append(
-                    SState(
-                        Blame("Λ", label, "application of non-procedure opaque"),
-                        st.env, h_bad, (), st.gen_effort + 1,
+                # Error branch: the opaque might not be a procedure at
+                # all — suppressed under the typed discipline, where the
+                # §3 type system rules this shape of error out.
+                if not self.assume_well_typed:
+                    h_bad = heap.set(
+                        fn, UOpq(s.possible - {TAG_PROCEDURE}, s.preds)
                     )
-                )
+                    out.append(
+                        SState(
+                            Blame("Λ", label, "application of non-procedure opaque"),
+                            st.env, h_bad, (), st.gen_effort + 1,
+                        )
+                    )
                 heap = heap.set(fn, UOpq(frozenset({TAG_PROCEDURE}), s.preds))
             # Branch A: memoise (covers constant and delayed behaviour —
             # the opaque result can itself be applied later).
-            la, h = heap.alloc(UOpq())
+            la, h = heap.alloc(self.fresh_opq())
             h = h.set(fn, UCase(len(args), ((tuple(args), la),)))
             out.append(SState(la, st.env, h, kont, st.gen_effort + 1))
             # Havoc branches: probe each function-like argument.
@@ -587,12 +637,12 @@ class SMachine:
         if len(args) != s.arity:
             # Unknown functions are applied at one arity per shape guess;
             # a mismatched arity yields an unmemoised fresh unknown.
-            la, h = heap.alloc(UOpq())
+            la, h = heap.alloc(self.fresh_opq())
             return [SState(la, st.env, h, kont, st.gen_effort + 1)]
         hit = s.lookup(tuple(args))
         if hit is not None:
             return [SState(hit, st.env, heap, kont, st.gen_effort)]
-        la, h = heap.alloc(UOpq())
+        la, h = heap.alloc(self.fresh_opq())
         h = h.set(fn, s.extended(tuple(args), la))
         return [SState(la, st.env, h, kont, st.gen_effort + 1)]
 
@@ -609,7 +659,7 @@ class SMachine:
             h = heap
             probes = []
             for _ in range(arity):
-                pl, h = h.alloc(UOpq())
+                pl, h = h.alloc(self.fresh_opq())
                 probes.append(pl)
             k_loc, h = h.alloc(UOpq(frozenset({TAG_PROCEDURE})))
             # Remember the shape guess on the unknown function itself so a

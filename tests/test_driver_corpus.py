@@ -40,10 +40,21 @@ class TestCorpusIntegrity:
         smoke = corpus_names(tag="smoke")
         assert 4 <= len(smoke) <= len(CORPUS) // 2
 
-    def test_every_program_parses_lowers_and_typechecks(self):
+    def test_every_core_program_parses_lowers_and_typechecks(self):
         for p in CORPUS:
-            core = lower_program(parse_program(p.source))
-            check_program(core)
+            if "core" in p.backends:
+                core = lower_program(parse_program(p.source))
+                check_program(core)
+
+    def test_every_program_parses(self):
+        for p in CORPUS:
+            parse_program(p.source)
+
+    def test_contract_section_is_scv_only(self):
+        contract = corpus_names(tag="contracts")
+        assert len(contract) >= 10
+        for n in contract:
+            assert get_program(n).backends == ("scv",)
 
     def test_get_program_unknown(self):
         with pytest.raises(KeyError):
@@ -101,17 +112,18 @@ class TestCorpusRoundTrip:
         assert alone.states_explored == row.states_explored
 
 
-TOP_KEYS = {"schema", "config", "totals", "programs"}
+TOP_KEYS = {"schema", "config", "totals", "backends", "agreement", "programs"}
 PROGRAM_KEYS = {
-    "name", "kind", "status", "wall_ms", "states_explored", "proof_queries",
-    "solver_queries", "errors_found", "cex_attempts", "counterexample",
-    "detail",
+    "name", "kind", "status", "wall_ms", "backend", "states_explored",
+    "proof_queries", "solver_queries", "errors_found", "cex_attempts",
+    "counterexample", "detail",
 }
 CEX_KEYS = {"bindings", "err_label", "err_op", "validated_core", "validated_conc"}
 TOTALS_KEYS = {
     "programs", "as_expected", "unexpected", "safe", "counterexamples",
     "timeouts", "states_explored", "solver_queries", "wall_ms",
 }
+AGREEMENT_KEYS = {"shared_programs", "agreed", "inconclusive", "disagreements"}
 
 
 class TestReportSchema:
@@ -122,11 +134,17 @@ class TestReportSchema:
         assert data["schema"] == SCHEMA
         assert set(data) == TOP_KEYS
         assert set(data["totals"]) == TOTALS_KEYS
-        assert len(data["programs"]) == len(CORPUS)
+        assert set(data["agreement"]) == AGREEMENT_KEYS
+        assert len(data["programs"]) == len(corpus_names(backend="core"))
         for row in data["programs"]:
             assert set(row) == PROGRAM_KEYS
             if row["counterexample"] is not None:
                 assert set(row["counterexample"]) == CEX_KEYS
+
+    def test_backend_sections(self, full_report):
+        data = full_report.to_json()
+        assert set(data["backends"]) == {"core"}
+        assert set(data["backends"]["core"]) == TOTALS_KEYS
 
     def test_rows_sorted_by_name(self, full_report, tmp_path):
         out = tmp_path / "b.json"
@@ -136,7 +154,7 @@ class TestReportSchema:
 
     def test_totals_consistent(self, full_report):
         t = full_report.totals()
-        assert t["programs"] == len(CORPUS)
+        assert t["programs"] == len(corpus_names(backend="core"))
         assert t["safe"] + t["counterexamples"] == t["programs"]
         assert t["unexpected"] == 0
 
@@ -185,7 +203,11 @@ class TestCli:
         data = json.loads(out.read_text())
         assert data["schema"] == SCHEMA
         assert data["totals"]["unexpected"] == 0
-        assert len(data["programs"]) == len(corpus_names(tag="smoke"))
+        smoke_core = [
+            n for n in corpus_names(tag="smoke")
+            if "core" in get_program(n).backends
+        ]
+        assert len(data["programs"]) == len(smoke_core)
 
     def test_verify_file_exit_codes(self, tmp_path):
         buggy = tmp_path / "buggy.rkt"
