@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..smt import Model, Result, Solver, mk_var
+from ..smt import Model, get_model, mk_var
 from .concrete import Timeout, run
 from .heap import Heap, SCase, SLam, SNum, SOpq
 from .machine import State, _opq_loc
@@ -52,6 +52,40 @@ from .translate import translate_heap
 
 class ReconstructionError(Exception):
     """The heap could not be concretised (cyclic reference chain)."""
+
+
+#: Canonical (surface-syntax) names for core δ operations.  Both
+#: backends render counterexamples against surface names — the core
+#: machine errors with ``div`` where the scv machine blames ``quotient``
+#: — so the report's cross-backend agreement section can compare them
+#: field by field.  ``driver.lower`` reuses this table when raising
+#: counterexample values back to surface syntax.
+CANONICAL_OPS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "div": "quotient",
+    "mod": "modulo",
+    "=?": "=",
+    "<?": "<",
+    "<=?": "<=",
+    "add1": "add1",
+    "sub1": "sub1",
+    "zero?": "zero?",
+}
+
+
+def canonical_op(op: str) -> str:
+    """The canonical (surface) name of a core δ operation."""
+    return CANONICAL_OPS.get(op, op)
+
+
+def render_bindings(cex: "Counterexample") -> dict[str, str]:
+    """Counterexample bindings as canonical surface-syntax strings
+    (``pp``): scalars render bare (``0``), functions as ``(fun x → …)``."""
+    from .pretty import pp
+
+    return {label: pp(v) for label, v in cex.bindings.items()}
 
 
 def default_value(t: Type) -> Expr:
@@ -223,11 +257,9 @@ def construct(
     heap = error_state.heap
 
     phi = translate_heap(heap, mode=mode)
-    solver = Solver()
-    solver.add(phi)
-    if solver.check() is not Result.SAT:
+    model = get_model(phi)  # cached: the proof relation often already
+    if model is None:       # solved this very heap formula
         return None
-    model = solver.model()
 
     recon = Reconstructor(heap, model)
     bindings: dict[str, Expr] = {}

@@ -6,6 +6,13 @@ execution graph, then stops and reports on the first error encountered"
 enumerate *all* errors (the completeness experiments need every seeded
 bug) or stop at the first.
 
+The loop itself lives in the shared :mod:`repro.search` kernel: the
+frontier discipline is pluggable (``strategy`` — bfs / dfs / depth) and
+redundant states are pruned against canonical fingerprints
+(``memo`` — see ``search.fingerprint``), which is what keeps the search
+affordable as programs grow.  ``memo=False`` restores the exact
+pre-kernel behaviour (every state explored once per path reaching it).
+
 No abstraction/widening is performed (§4.5): for counterexample
 generation on erroneous programs the concrete-ish search terminates at
 the error, and correct programs in the corpus terminate on their own.
@@ -14,7 +21,6 @@ A step budget bounds runaway executions.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -27,6 +33,8 @@ class SearchStats:
     states_explored: int = 0
     answers: int = 0
     errors: int = 0
+    pruned: int = 0  # states dropped by fingerprint memoisation
+    chained: int = 0  # deterministic micro-steps folded into macro states
     truncated: bool = False
 
 
@@ -52,25 +60,28 @@ def explore(
     machine: Optional[Machine] = None,
     max_states: int = 50_000,
     stats: Optional[SearchStats] = None,
+    strategy: str = "bfs",
+    memo: bool = True,
 ) -> Iterator[SearchResult]:
-    """BFS over ⟨E, Σ⟩ states, yielding answers (locations and errors)."""
+    """Search over ⟨E, Σ⟩ states, yielding answers (locations and
+    errors) in ``strategy`` order."""
+    # Imported lazily: repro.search.fingerprint imports repro.core at
+    # module level, so a module-level import here would be circular.
+    from ..search import CoreFingerprinter, SearchKernel
+
     m = machine or Machine()
     st = stats if stats is not None else SearchStats()
-    frontier: deque[State] = deque([inject(program)])
-    while frontier:
-        if st.states_explored >= max_states:
-            st.truncated = True
-            return
-        state = frontier.popleft()
-        st.states_explored += 1
-        succs = m.step(state)
-        if succs is None:
-            st.answers += 1
-            if state.is_error:
-                st.errors += 1
-            yield SearchResult(state)
-            continue
-        frontier.extend(succs)
+    kernel = SearchKernel(
+        m.step,
+        strategy=strategy,
+        fingerprint=CoreFingerprinter() if memo else None,
+        max_states=max_states,
+        stats=st,
+    )
+    for state in kernel.run(inject(program)):
+        if state.is_error:
+            st.errors += 1
+        yield SearchResult(state)
 
 
 def find_errors(
@@ -79,10 +90,13 @@ def find_errors(
     machine: Optional[Machine] = None,
     max_states: int = 50_000,
     stats: Optional[SearchStats] = None,
+    strategy: str = "bfs",
+    memo: bool = True,
 ) -> Iterator[SearchResult]:
     """Yield only the error answers reachable from ``program``."""
     for r in explore(
-        program, machine=machine, max_states=max_states, stats=stats
+        program, machine=machine, max_states=max_states, stats=stats,
+        strategy=strategy, memo=memo,
     ):
         if r.is_error:
             yield r

@@ -52,6 +52,18 @@ def _add_budget_flags(p: argparse.ArgumentParser) -> None:
         "--mode", choices=("implications", "euf"), default=_DEFAULTS.mode,
         help="heap translation mode (paper Fig. 4 ablation)",
     )
+    p.add_argument(
+        "--strategy", choices=("bfs", "dfs", "depth"),
+        default=_DEFAULTS.strategy,
+        help="search kernel frontier discipline: breadth-first (the "
+        "paper's §5.3 default), depth-first, or deepest-first priority "
+        "(default bfs)",
+    )
+    p.add_argument(
+        "--no-memo", action="store_true",
+        help="disable state-fingerprint memoisation and the solver-query "
+        "cache (the pre-kernel micro-step search; for A/B comparison)",
+    )
 
 
 def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
@@ -61,6 +73,8 @@ def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
         timeout_s=args.timeout,
         mode=args.mode,
         jobs=jobs,
+        strategy=args.strategy,
+        memo=not args.no_memo,
     )
 
 
@@ -177,8 +191,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="worker processes (default 1)")
     p_bench.add_argument("--filter", default="",
                          help="only programs whose name contains this")
-    p_bench.add_argument("--out", default="BENCH_driver.json",
-                         help="report path (default BENCH_driver.json)")
+    p_bench.add_argument("--out", default="BENCH_fresh.json",
+                         help="report path (default BENCH_fresh.json; the "
+                         "committed BENCH_driver.json is the CI perf-gate "
+                         "baseline — overwrite it only to re-baseline "
+                         "deliberately)")
     p_bench.add_argument("--verbose", "-v", action="store_true",
                          help="stream per-program results")
     _add_budget_flags(p_bench)

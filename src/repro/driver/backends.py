@@ -38,14 +38,16 @@ from ..core import (
     check_program,
     construct,
     find_errors,
-    pp,
 )
+from ..core.counterexample import canonical_op
+from ..core.counterexample import render_bindings as render_core_bindings
 from ..core.heap import reset_locs
 from ..core.syntax import reset_labels as reset_core_labels
 from ..lang.ast import Program
 from ..lang.ast import reset_labels as reset_surface_labels
 from ..lang.parser import ParseError, parse_program
 from ..lang.sexp import ReadError
+from ..smt import solver_cache
 from ..scv import (
     SMachine,
     USearchStats,
@@ -55,6 +57,8 @@ from ..scv import (
     inject_program,
     uses_contracts,
 )
+from ..scv.counterexample import canonical_blame_op
+from ..scv.counterexample import render_bindings as render_scv_bindings
 from ..scv.machine import reset_syn_labels
 from .lower import LowerError, lower_program, raise_expr
 from .report import (
@@ -80,6 +84,8 @@ class RunConfig:
     max_cex_attempts: int = 20  # error states to try to model before giving up
     mode: str = "implications"  # heap translation mode (paper Fig. 4)
     jobs: int = 1  # worker processes
+    strategy: str = "bfs"  # search kernel frontier discipline
+    memo: bool = True  # fingerprint memoisation + solver-query cache
 
 
 class _Deadline(Exception):
@@ -113,11 +119,15 @@ def _deadline(seconds: float):
 def _reset_counters() -> None:
     # Labels and heap locations are only unique per program; restarting
     # the counters per verification makes reports (and solver model
-    # choices) reproducible regardless of worker assignment.
+    # choices) reproducible regardless of worker assignment.  The solver
+    # cache is cleared for the same reason: results are pure either way,
+    # but the per-row `solver_cache_hits` counter must not depend on
+    # which programs happened to share a worker process.
     reset_surface_labels()
     reset_core_labels()
     reset_syn_labels()
     reset_locs()
+    solver_cache.clear()
 
 
 class Backend(Protocol):
@@ -137,16 +147,30 @@ class Backend(Protocol):
 
 
 class _ResultBuilder:
-    """Shared bookkeeping: wall clock, counters, result assembly."""
+    """Shared bookkeeping: wall clock, counters, result assembly.
 
-    def __init__(self, backend: str, name: str, kind: str) -> None:
+    Construction also applies the run's memoisation setting to the
+    process-wide solver cache and snapshots its hit counter, so every
+    result row carries the cache hits *this* verification scored
+    (verifications never interleave within a worker process).  ``done``
+    — the single exit point of every verification — restores the
+    previous cache setting, so a ``memo=False`` run does not leave the
+    process cache disabled for unrelated callers."""
+
+    def __init__(self, backend: str, name: str, kind: str,
+                 memo: bool = True) -> None:
         self.backend = backend
         self.name = name
         self.kind = kind
+        self._prev_cache_enabled = solver_cache.enabled
+        solver_cache.enabled = memo
+        self._cache_snap = solver_cache.snapshot()
         self.t0 = time.perf_counter()
 
     def done(self, status: str, *, states: int, proof_queries: int,
-             solver_queries: int, **kw) -> ProgramResult:
+             solver_queries: int, pruned: int = 0, **kw) -> ProgramResult:
+        hits = solver_cache.hits_since(self._cache_snap)
+        solver_cache.enabled = self._prev_cache_enabled
         return ProgramResult(
             name=self.name,
             kind=self.kind,
@@ -156,6 +180,8 @@ class _ResultBuilder:
             states_explored=states,
             proof_queries=proof_queries,
             solver_queries=solver_queries,
+            pruned_states=pruned,
+            solver_cache_hits=hits,
             **kw,
         )
 
@@ -177,7 +203,7 @@ class TypedCoreBackend:
         _reset_counters()
         stats = SearchStats()
         proof = ProofSystem(mode=cfg.mode)
-        rb = _ResultBuilder(self.name, name, kind)
+        rb = _ResultBuilder(self.name, name, kind, memo=cfg.memo)
 
         def done(status: str, **kw) -> ProgramResult:
             return rb.done(
@@ -185,6 +211,7 @@ class TypedCoreBackend:
                 states=stats.states_explored,
                 proof_queries=proof.queries,
                 solver_queries=proof.solver_queries,
+                pruned=stats.pruned,
                 **kw,
             )
 
@@ -201,7 +228,8 @@ class TypedCoreBackend:
             with _deadline(cfg.timeout_s):
                 machine = Machine(proof)
                 for result in find_errors(
-                    core, machine=machine, max_states=cfg.max_states, stats=stats
+                    core, machine=machine, max_states=cfg.max_states,
+                    stats=stats, strategy=cfg.strategy, memo=cfg.memo,
                 ):
                     errors_found += 1
                     if attempts >= cfg.max_cex_attempts:
@@ -224,13 +252,12 @@ class TypedCoreBackend:
                         errors_found=errors_found,
                         cex_attempts=attempts,
                         counterexample=CexReport(
-                            bindings={
-                                label: pp(v) for label, v in cex.bindings.items()
-                            },
+                            bindings=render_core_bindings(cex),
                             err_label=cex.err.label,
-                            err_op=cex.err.op,
+                            err_op=canonical_op(cex.err.op),
                             validated_core=bool(cex.validated),
                             validated_conc=conc_ok,
+                            err_detail=cex.err.op,
                         ),
                     )
         except _Deadline:
@@ -293,7 +320,7 @@ class UntypedScvBackend:
         cfg = config or RunConfig()
         _reset_counters()
         stats = USearchStats()
-        rb = _ResultBuilder(self.name, name, kind)
+        rb = _ResultBuilder(self.name, name, kind, memo=cfg.memo)
         proof_queries = solver_queries = 0
 
         def done(status: str, **kw) -> ProgramResult:
@@ -302,6 +329,7 @@ class UntypedScvBackend:
                 states=stats.states_explored,
                 proof_queries=proof_queries,
                 solver_queries=solver_queries,
+                pruned=stats.pruned,
                 **kw,
             )
 
@@ -320,7 +348,8 @@ class UntypedScvBackend:
             with _deadline(cfg.timeout_s):
                 init = inject_program(program, machine)
                 for blame_state in find_known_blames(
-                    init, machine, max_states=cfg.max_states, stats=stats
+                    init, machine, max_states=cfg.max_states, stats=stats,
+                    strategy=cfg.strategy, memo=cfg.memo,
                 ):
                     errors_found += 1
                     if attempts >= cfg.max_cex_attempts:
@@ -339,14 +368,12 @@ class UntypedScvBackend:
                         errors_found=errors_found,
                         cex_attempts=attempts,
                         counterexample=CexReport(
-                            bindings={
-                                label: repr(v)
-                                for label, v in cex.bindings.items()
-                            },
+                            bindings=render_scv_bindings(cex),
                             err_label=blame.label,
-                            err_op=f"{blame.party}: {blame.description}",
+                            err_op=canonical_blame_op(blame),
                             validated_core=None,  # scv has one oracle
                             validated_conc=cex.validated,
+                            err_detail=f"{blame.party}: {blame.description}",
                         ),
                     )
         except _Deadline:

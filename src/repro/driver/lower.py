@@ -441,19 +441,9 @@ def lower_program(program: Program) -> Expr:
 # Raising counterexample values back to surface syntax
 # ---------------------------------------------------------------------------
 
-_CORE_TO_SURFACE_OP = {
-    "+": "+",
-    "-": "-",
-    "*": "*",
-    "div": "quotient",
-    "mod": "modulo",
-    "=?": "=",
-    "<?": "<",
-    "<=?": "<=",
-    "add1": "add1",
-    "sub1": "sub1",
-    "zero?": "zero?",
-}
+# The canonical core-op → surface-name table lives with the
+# counterexample renderer (both backends normalize against it).
+from ..core.counterexample import CANONICAL_OPS as _CORE_TO_SURFACE_OP  # noqa: E402
 
 
 def raise_expr(e: Expr) -> UExpr:

@@ -1,0 +1,93 @@
+"""Perf-regression gate: diff a fresh benchmark report against the
+committed baseline.
+
+``python -m repro.driver.perfgate BASELINE FRESH [--max-regress 0.20]``
+
+Fails (exit 1) when the fresh run regresses more than the threshold on
+either gated total:
+
+* ``states_explored`` — the search kernel's macro-state count.  This is
+  deterministic per (corpus, schema) and the primary guard: a pruning
+  or compression bug shows up here immediately.
+* ``wall_ms`` — total wall time.  Noisy on shared CI runners, so the
+  threshold is interpreted against the baseline with the same generous
+  margin; states are the signal, wall is the tripwire for gross
+  slowdowns (an accidentally quadratic fingerprint, a cache that stopped
+  hitting).
+
+Schema changes are tolerated: only the gated totals are read, and a
+baseline written by an older schema still gates a newer fresh report.
+Improvements are reported but never fail the gate — commit the fresh
+report as the new baseline to ratchet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (key, pretty name) of the gated totals.
+GATED = (
+    ("states_explored", "states explored"),
+    ("wall_ms", "wall time (ms)"),
+)
+
+
+def load_totals(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    totals = report.get("totals")
+    if not isinstance(totals, dict):
+        raise ValueError(f"{path}: no totals section (schema {report.get('schema')!r})")
+    return totals
+
+
+def compare(baseline: dict, fresh: dict, max_regress: float) -> list[str]:
+    """Human-readable comparison lines; lines starting with FAIL gate."""
+    lines = []
+    for key, pretty in GATED:
+        old = baseline.get(key)
+        new = fresh.get(key)
+        if not old:  # missing or zero baseline: nothing to gate against
+            lines.append(f"SKIP {pretty}: no usable baseline value ({old!r})")
+            continue
+        if new is None:  # fresh report from another schema: same tolerance
+            lines.append(f"SKIP {pretty}: missing from the fresh report")
+            continue
+        ratio = (new - old) / old
+        word = "regression" if ratio > 0 else "improvement"
+        line = f"{pretty}: {old:g} -> {new:g} ({ratio:+.1%} {word})"
+        if ratio > max_regress:
+            lines.append(f"FAIL {line} exceeds the {max_regress:.0%} budget")
+        else:
+            lines.append(f"ok   {line}")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.driver.perfgate",
+        description="Fail on benchmark perf regressions vs a baseline report",
+    )
+    parser.add_argument("baseline", help="committed BENCH_driver.json")
+    parser.add_argument("fresh", help="freshly generated report")
+    parser.add_argument(
+        "--max-regress", type=float, default=0.20, metavar="FRACTION",
+        help="allowed relative regression per gated total (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_totals(args.baseline)
+        fresh = load_totals(args.fresh)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"perfgate: {exc}", file=sys.stderr)
+        return 2
+    lines = compare(baseline, fresh, args.max_regress)
+    for line in lines:
+        print(line)
+    return 1 if any(line.startswith("FAIL") for line in lines) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

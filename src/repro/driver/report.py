@@ -7,15 +7,25 @@ serialised as ``BENCH_driver.json``.  The JSON shape is versioned
 of the benchmark file are meaningful and the perf trajectory can be
 tracked across commits.
 
-Schema ``repro-bench/v2`` (the multi-backend revision):
+Schema ``repro-bench/v3`` (the search-kernel revision; supersedes the
+multi-backend ``v2``):
 
 * every program row carries a ``backend`` field (``core`` or ``scv``);
+* rows and totals carry the search kernel's economy counters:
+  ``pruned_states`` (frontier states dropped by fingerprint
+  memoisation/subsumption) and ``solver_cache_hits`` (queries answered
+  by the canonicalized solver-result cache);
 * ``backends`` holds per-backend totals (counts, states, solver
-  queries, wall time) so the two engines' cost profiles diff cleanly;
+  queries, cache hits, wall time) so the two engines' cost profiles
+  diff cleanly;
 * ``agreement`` records the cross-check: for every program both
   backends ran, their verdicts must not *conflict* (one proving safe
   while the other exhibits a counterexample).  Inconclusive statuses
-  (timeout, truncation, no-model) neither agree nor disagree.
+  (timeout, truncation, no-model) neither agree nor disagree.  For
+  programs where both backends exhibit counterexamples, the normalized
+  counterexamples (canonical ``err_op``, canonical scalar bindings —
+  see the two ``counterexample`` modules) are compared field by field
+  under ``agreement.counterexamples``.
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-SCHEMA = "repro-bench/v2"
+SCHEMA = "repro-bench/v3"
 
 # Terminal statuses a verification attempt can end in.
 STATUS_SAFE = "safe"  # search exhausted, no (modelable) error
@@ -43,16 +53,23 @@ _CONCLUSIVE = (STATUS_SAFE, STATUS_COUNTEREXAMPLE)
 class CexReport:
     """A confirmed (or attempted) counterexample, rendered for humans.
 
+    ``bindings`` and ``err_op`` are in the *canonical* cross-backend
+    normal form (scalars bare, operations under their surface names —
+    see ``core.counterexample``/``scv.counterexample``), so reports from
+    the two backends compare field by field; ``err_detail`` keeps the
+    backend's original colourful description.
+
     Validation flags are three-valued: True/False record a re-run's
     outcome, None records that the oracle was skipped (the scv backend
     skips both for demonic-context counterexamples, which have no
     concrete client to re-run)."""
 
-    bindings: dict[str, str]  # opaque label -> pretty value
+    bindings: dict[str, str]  # opaque label -> canonical value
     err_label: str
-    err_op: str
+    err_op: str  # canonical operation / description
     validated_core: Optional[bool]  # re-run under the symbolic backend's oracle
     validated_conc: Optional[bool]  # re-run under conc.interp (None: skipped)
+    err_detail: str = ""  # backend-specific original rendering
 
 
 @dataclass
@@ -65,6 +82,8 @@ class ProgramResult:
     states_explored: int = 0
     proof_queries: int = 0
     solver_queries: int = 0
+    pruned_states: int = 0  # dropped by fingerprint memoisation
+    solver_cache_hits: int = 0  # queries answered from the result cache
     errors_found: int = 0
     cex_attempts: int = 0
     counterexample: Optional[CexReport] = None
@@ -97,8 +116,70 @@ def _totals(results: list[ProgramResult]) -> dict:
         ),
         "timeouts": sum(1 for r in results if r.status == STATUS_TIMEOUT),
         "states_explored": sum(r.states_explored for r in results),
+        "pruned_states": sum(r.pruned_states for r in results),
         "solver_queries": sum(r.solver_queries for r in results),
+        "solver_cache_hits": sum(r.solver_cache_hits for r in results),
         "wall_ms": round(sum(r.wall_ms for r in results), 1),
+    }
+
+
+def _is_scalar_rendering(v: str) -> bool:
+    """Function values render as ``(fun …)``/``(λ …)`` and are engine-
+    specific shapes; only scalar renderings are comparable verbatim."""
+    return bool(v) and not v.startswith("(")
+
+
+def _compare_counterexamples(shared: dict) -> dict:
+    """Field-by-field comparison of normalized counterexamples on
+    programs where *both* backends exhibit one.
+
+    Both backends normalize to the same form (canonical ``err_op``,
+    scalar bindings rendered bare), and blame labels are deterministic
+    per source (counters reset per run), so label and op must match
+    outright.  Bindings are compared on the labels both models bound to
+    scalars — two engines may legitimately pick *different* witnesses
+    for the same fault, so binding differences are reported for
+    inspection but do not count as mismatches.
+    """
+    compared = 0
+    matched = 0
+    mismatches = []
+    binding_diffs = []
+    for n, rows in sorted(shared.items()):
+        cexes = {
+            b: r.counterexample
+            for b, r in rows.items()
+            if r.status == STATUS_COUNTEREXAMPLE and r.counterexample is not None
+        }
+        if len(cexes) < 2:
+            continue
+        compared += 1
+        (b1, c1), (b2, c2) = sorted(cexes.items())[:2]
+        ok = True
+        for fld in ("err_label", "err_op"):
+            v1, v2 = getattr(c1, fld), getattr(c2, fld)
+            if v1 != v2:
+                ok = False
+                mismatches.append(
+                    {"name": n, "field": fld, b1: v1, b2: v2}
+                )
+        for label in sorted(set(c1.bindings) & set(c2.bindings)):
+            v1, v2 = c1.bindings[label], c2.bindings[label]
+            if (
+                v1 != v2
+                and _is_scalar_rendering(v1)
+                and _is_scalar_rendering(v2)
+            ):
+                binding_diffs.append(
+                    {"name": n, "label": label, b1: v1, b2: v2}
+                )
+        if ok:
+            matched += 1
+    return {
+        "compared": compared,
+        "matched": matched,
+        "mismatches": mismatches,
+        "binding_differences": binding_diffs,
     }
 
 
@@ -120,15 +201,18 @@ class BenchReport:
         }
 
     def agreement(self) -> dict:
-        """Cross-check verdicts between backends on shared programs."""
-        by_name: dict[str, dict[str, str]] = {}
+        """Cross-check verdicts between backends on shared programs, and
+        compare normalized counterexamples where both backends found
+        one."""
+        by_name: dict[str, dict[str, ProgramResult]] = {}
         for r in self.results:
-            by_name.setdefault(r.name, {})[r.backend] = r.status
+            by_name.setdefault(r.name, {})[r.backend] = r
         shared = {n: v for n, v in by_name.items() if len(v) > 1}
         disagreements = []
         agreed = 0
         inconclusive = 0
-        for n, verdicts in sorted(shared.items()):
+        for n, rows in sorted(shared.items()):
+            verdicts = {b: r.status for b, r in rows.items()}
             conclusive = {s for s in verdicts.values() if s in _CONCLUSIVE}
             if len(conclusive) > 1:
                 disagreements.append({"name": n, "verdicts": verdicts})
@@ -141,6 +225,7 @@ class BenchReport:
             "agreed": agreed,
             "inconclusive": inconclusive,
             "disagreements": disagreements,
+            "counterexamples": _compare_counterexamples(shared),
         }
 
     @property
@@ -195,7 +280,7 @@ def render_result(r: ProgramResult, *, verbose: bool = False) -> str:
     line = (
         f"{mark} {r.name:28s} {r.backend:4s} {r.status:16s} "
         f"{r.states_explored:6d} states {r.solver_queries:4d} solver "
-        f"{r.wall_ms:8.1f} ms{flag}"
+        f"{r.solver_cache_hits:3d} cached {r.wall_ms:8.1f} ms{flag}"
     )
     if r.counterexample is not None and (verbose or r.as_expected is False):
         cex = r.counterexample
@@ -221,7 +306,9 @@ def render_report(report: BenchReport, *, verbose: bool = False) -> str:
         f"-- {t['programs']} runs: {t['safe']} safe, "
         f"{t['counterexamples']} counterexamples, {t['timeouts']} timeouts; "
         f"{t['unexpected']} unexpected verdicts; "
-        f"{t['states_explored']} states, {t['solver_queries']} solver calls, "
+        f"{t['states_explored']} states ({t['pruned_states']} pruned), "
+        f"{t['solver_queries']} solver calls "
+        f"({t['solver_cache_hits']} cache hits), "
         f"{t['wall_ms']:.0f} ms total"
     )
     agreement = report.agreement()
@@ -233,4 +320,15 @@ def render_report(report: BenchReport, *, verbose: bool = False) -> str:
             f"{len(dis)} disagreements"
             + ("" if not dis else ": " + ", ".join(d["name"] for d in dis))
         )
+        cex = agreement["counterexamples"]
+        if cex["compared"]:
+            mism = cex["mismatches"]
+            lines.append(
+                f"-- counterexamples: {cex['matched']}/{cex['compared']} "
+                f"shared findings at identical sites, "
+                f"{len(cex['binding_differences'])} witness differences"
+                + ("" if not mism
+                   else "; MISMATCHES: "
+                   + ", ".join(f"{m['name']}.{m['field']}" for m in mism))
+            )
     return "\n".join(lines)

@@ -52,7 +52,8 @@ from ..lang.ast import (
     UVar,
     subexprs_u,
 )
-from ..lang.sexp import Symbol
+from ..lang.prims import base_primitives
+from ..lang.sexp import Symbol, write_datum
 from ..smt import get_model, mk_var
 from .engine import CLIENT_LABEL
 from .heap import (
@@ -85,6 +86,74 @@ from .proof import translate_uheap
 class UReconstructionError(Exception):
     """The heap value cannot be concretised (cycle, or a behaviourful
     value with no surface counterpart)."""
+
+
+# ---------------------------------------------------------------------------
+# Canonical rendering — the cross-backend normal form
+# ---------------------------------------------------------------------------
+#
+# The typed backend renders counterexamples through ``core.pretty.pp``
+# and canonicalises error operations through
+# ``core.counterexample.canonical_op`` (``div`` → ``quotient``).  The
+# renderers below put this backend's counterexamples in the same normal
+# form — scalars render bare (``0``, ``#t``, ``0+1i``), not as quoted
+# data (``'0``), and blame is reduced to its operation name — so the
+# report's agreement section can compare the two backends' findings
+# field by field.
+
+
+#: Names δ blames under — the only description heads that denote an
+#: operation rather than the start of free-form prose.
+_PRIM_OP_NAMES = frozenset(base_primitives())
+
+
+def canonical_blame_op(blame: Blame) -> str:
+    """The canonical operation behind a blame: primitive blame carries
+    ``"<op>: <message>"`` descriptions and reduces to the (surface) op
+    name — matching ``core.counterexample.canonical_op`` output for the
+    same fault.  Contract blame (and any description whose head is not
+    actually a primitive) has no single operation and keeps its full
+    description."""
+    head, sep, _ = blame.description.partition(":")
+    if sep and head in _PRIM_OP_NAMES:
+        return head
+    return blame.description
+
+
+def render_datum(datum: object) -> str:
+    """A scalar datum in canonical surface form.  Quoted forms (symbols,
+    lists) take their reader prefix; everything else — including string
+    escaping and the paper's ``0+1i`` complex layout — is
+    ``lang.sexp.write_datum``'s source rendering."""
+    if isinstance(datum, Symbol):
+        return f"'{datum.name}"
+    if isinstance(datum, list):
+        return "'" + write_datum(datum)
+    return write_datum(datum)
+
+
+def render_value(e: UExpr) -> str:
+    """A reconstructed counterexample value in canonical surface form."""
+    if isinstance(e, Quote):
+        return render_datum(e.datum)
+    if isinstance(e, UVar):
+        return e.name
+    if isinstance(e, ULam):
+        return f"(λ ({' '.join(e.params)}) {render_value(e.body)})"
+    if isinstance(e, UApp):
+        parts = [render_value(e.fn), *(render_value(a) for a in e.args)]
+        return "(" + " ".join(parts) + ")"
+    if isinstance(e, UIf):
+        return (
+            f"(if {render_value(e.test)} {render_value(e.then)} "
+            f"{render_value(e.orelse)})"
+        )
+    return repr(e)
+
+
+def render_bindings(cex: "UCounterexample") -> dict[str, str]:
+    """Counterexample bindings in the canonical normal form."""
+    return {label: render_value(v) for label, v in cex.bindings.items()}
 
 
 @dataclass

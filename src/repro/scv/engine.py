@@ -18,14 +18,14 @@ into one initial machine state:
   The context location is pre-narrowed to ``procedure`` so the machine
   never blames our synthetic client for not being callable.
 
-``explore_u``/``find_known_blames`` run the breadth-first search of
-§5.3 over the resulting nondeterministic transition system, counting
-states and flagging truncation exactly like ``core.search``.
+``explore_u``/``find_known_blames`` run the search of §5.3 over the
+resulting nondeterministic transition system on the shared
+:mod:`repro.search` kernel — same pluggable strategies, fingerprint
+memoisation and counting as ``core.search``.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -192,6 +192,8 @@ class USearchStats:
     answers: int = 0
     blames: int = 0
     known_blames: int = 0
+    pruned: int = 0  # states dropped by fingerprint memoisation
+    chained: int = 0  # deterministic micro-steps folded into macro states
     truncated: bool = False
 
 
@@ -201,27 +203,30 @@ def explore_u(
     *,
     max_states: int = 50_000,
     stats: Optional[USearchStats] = None,
+    strategy: str = "bfs",
+    memo: bool = True,
 ) -> Iterator[SState]:
-    """BFS over machine states, yielding answer states (values and
-    blame)."""
+    """Search over machine states, yielding answer states (values and
+    blame) in ``strategy`` order; ``memo=False`` disables fingerprint
+    pruning (the exact pre-kernel behaviour)."""
+    # Imported lazily: repro.search.fingerprint imports this package at
+    # module level, so a module-level import here would be circular.
+    from ..search import ScvFingerprinter, SearchKernel
+
     st = stats if stats is not None else USearchStats()
-    frontier: deque[SState] = deque([init])
-    while frontier:
-        if st.states_explored >= max_states:
-            st.truncated = True
-            return
-        state = frontier.popleft()
-        st.states_explored += 1
-        succs = machine.step(state)
-        if succs is None:
-            st.answers += 1
-            if isinstance(state.control, Blame):
-                st.blames += 1
-                if state.control.known:
-                    st.known_blames += 1
-            yield state
-            continue
-        frontier.extend(succs)
+    kernel = SearchKernel(
+        machine.step,
+        strategy=strategy,
+        fingerprint=ScvFingerprinter() if memo else None,
+        max_states=max_states,
+        stats=st,
+    )
+    for state in kernel.run(init):
+        if isinstance(state.control, Blame):
+            st.blames += 1
+            if state.control.known:
+                st.known_blames += 1
+        yield state
 
 
 def find_known_blames(
@@ -230,10 +235,15 @@ def find_known_blames(
     *,
     max_states: int = 50_000,
     stats: Optional[USearchStats] = None,
+    strategy: str = "bfs",
+    memo: bool = True,
 ) -> Iterator[SState]:
     """Answer states blaming *known* code — errors from the unknown
     context (synthetic labels, ``•`` parties) are not findings."""
-    for state in explore_u(init, machine, max_states=max_states, stats=stats):
+    for state in explore_u(
+        init, machine, max_states=max_states, stats=stats,
+        strategy=strategy, memo=memo,
+    ):
         c = state.control
         if isinstance(c, Blame) and c.known:
             yield state

@@ -317,15 +317,21 @@ class UHeap:
     discipline that makes BFS over thousands of states affordable.
     """
 
-    __slots__ = ("_d", "_base")
+    __slots__ = ("_d", "_base", "_gdirty")
 
     def __init__(
         self,
         entries: Optional[dict[Loc, UStoreable]] = None,
         base: Optional[dict[Loc, UStoreable]] = None,
+        gdirty: bool = False,
     ) -> None:
         self._d: dict[Loc, UStoreable] = entries if entries is not None else {}
         self._base: dict[Loc, UStoreable] = base if base is not None else {}
+        # Has any post-freeze update shadowed a global ("g…") location?
+        # Globals are treated as per-program constants by fingerprinting
+        # (serialized by name alone); this flag is what revokes that
+        # treatment when a path e.g. `set!`s a primitive name.
+        self._gdirty = gdirty
 
     @staticmethod
     def empty() -> "UHeap":
@@ -361,10 +367,24 @@ class UHeap:
     def __contains__(self, l: Loc) -> bool:
         return l in self._d or l in self._base
 
+    def in_overlay(self, l: Loc) -> bool:
+        """Has ``l`` been written since the base layer was frozen?
+        Fingerprinting relies on this: frozen-base globals serialize by
+        name alone, but only while no path has shadowed them."""
+        return l in self._d
+
+    @property
+    def has_global_writes(self) -> bool:
+        """True when any overlay entry shadows a global ("g…") location
+        — the O(1) guard fingerprinting consults before trusting its
+        cached names-only globals-frame token."""
+        return self._gdirty
+
     def set(self, l: Loc, s: UStoreable) -> "UHeap":
         d = dict(self._d)
         d[l] = s
-        return UHeap(d, self._base)
+        return UHeap(d, self._base,
+                     self._gdirty or l.name.startswith("g"))
 
     def alloc(self, s: UStoreable, prefix: str = "u") -> tuple[Loc, "UHeap"]:
         l = fresh_loc(prefix)

@@ -1,0 +1,54 @@
+"""Hash-consed interning of fingerprint structure.
+
+State fingerprints (``search.fingerprint``) are deep nested tuples, and
+equivalent states produce *equal* tuples along every path that reaches
+them.  Interning maps every structurally-equal tuple to one canonical
+object, so
+
+* the seen-set stores each distinct subtree once (memory stays
+  proportional to the number of distinct states, not to the number of
+  fingerprint tokens), and
+* repeated equality checks inside the seen-set dict shortcut on object
+  identity for shared subtrees instead of re-walking them.
+
+The table is scoped to one :class:`Interner` — one per search run — so
+nothing leaks between programs in a long-lived batch worker.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class Interner:
+    """Hash-consing table for immutable fingerprint values.
+
+    ``intern`` recursively canonicalises tuples and frozensets; scalars
+    (ints, strings, ...) pass through untouched — Python already interns
+    the small ones, and they are cheap to hash.
+    """
+
+    __slots__ = ("_table", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._table: dict[Hashable, Hashable] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, value: Hashable) -> Hashable:
+        if isinstance(value, tuple):
+            value = tuple(self.intern(v) for v in value)
+        elif isinstance(value, frozenset):
+            value = frozenset(self.intern(v) for v in value)
+        else:
+            return value
+        hit = self._table.get(value)
+        if hit is not None:
+            self.hits += 1
+            return hit
+        self.misses += 1
+        self._table[value] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,182 @@
+"""Canonicalizing LRU cache over solver results.
+
+Symbolic execution re-asks the solver the same question constantly: the
+proof relation translates a whole heap per query, sibling branches share
+most of their heaps, and location *names* — the only thing that varies
+between isomorphic heaps — are an artefact of the global allocation
+counter.  This module makes those repeats free:
+
+* :func:`canonicalize` alpha-renames a formula's variables and
+  uninterpreted function symbols to their first-occurrence index in a
+  deterministic structural traversal.  Two queries differing only in
+  location naming collapse to one key — the query-level mirror of the
+  state fingerprints in ``search.fingerprint``.
+* :class:`SolverCache` maps canonical keys to ``(Result, model)``
+  pairs, LRU-bounded.  Models are stored in canonical names and
+  rehydrated through the inverse renaming of whichever query hits, so a
+  cached model is exactly as usable as a fresh one.
+
+Satisfiability is a pure function of the formula, so the cache is safe
+to share across programs in a long-lived batch worker; hit/miss
+counters can be snapshotted per program run (``snapshot``/``hits_since``)
+for reporting.  The cache deliberately solves the *canonical* formula
+rather than the original, so model choice is identical however a query
+is named — cached and uncached runs cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from .errors import Result, SolverError
+from .terms import (
+    Add,
+    App,
+    BoolConst,
+    And,
+    Div,
+    Eq,
+    Formula,
+    FuncDecl,
+    Iff,
+    Implies,
+    IntConst,
+    Le,
+    Lt,
+    Mod,
+    Mul,
+    Not,
+    Or,
+    Term,
+    Var,
+)
+
+
+class _Canonicalizer:
+    """First-occurrence alpha-renaming of variables and function symbols."""
+
+    def __init__(self) -> None:
+        self.vars: list[Var] = []  # canonical index -> original
+        self.funcs: list[FuncDecl] = []
+        self._vmap: dict[Var, Var] = {}
+        self._fmap: dict[FuncDecl, FuncDecl] = {}
+
+    def var(self, v: Var) -> Var:
+        c = self._vmap.get(v)
+        if c is None:
+            c = Var(f"${len(self.vars)}")
+            self._vmap[v] = c
+            self.vars.append(v)
+        return c
+
+    def func(self, f: FuncDecl) -> FuncDecl:
+        c = self._fmap.get(f)
+        if c is None:
+            c = FuncDecl(f"$f{len(self.funcs)}", f.arity)
+            self._fmap[f] = c
+            self.funcs.append(f)
+        return c
+
+    def term(self, t: Term) -> Term:
+        if isinstance(t, Var):
+            return self.var(t)
+        if isinstance(t, IntConst):
+            return t
+        if isinstance(t, Add):
+            return Add(tuple(self.term(a) for a in t.args))
+        if isinstance(t, Mul):
+            return Mul(tuple(self.term(a) for a in t.args))
+        if isinstance(t, Div):
+            return Div(self.term(t.num), self.term(t.den))
+        if isinstance(t, Mod):
+            return Mod(self.term(t.num), self.term(t.den))
+        if isinstance(t, App):
+            return App(self.func(t.func), tuple(self.term(a) for a in t.args))
+        raise SolverError(f"cannot canonicalize term {t!r}")
+
+    def formula(self, f: Formula) -> Formula:
+        if isinstance(f, BoolConst):
+            return f
+        if isinstance(f, Eq):
+            return Eq(self.term(f.lhs), self.term(f.rhs))
+        if isinstance(f, Le):
+            return Le(self.term(f.lhs), self.term(f.rhs))
+        if isinstance(f, Lt):
+            return Lt(self.term(f.lhs), self.term(f.rhs))
+        if isinstance(f, Not):
+            return Not(self.formula(f.arg))
+        if isinstance(f, And):
+            return And(tuple(self.formula(a) for a in f.args))
+        if isinstance(f, Or):
+            return Or(tuple(self.formula(a) for a in f.args))
+        if isinstance(f, Implies):
+            return Implies(self.formula(f.lhs), self.formula(f.rhs))
+        if isinstance(f, Iff):
+            return Iff(self.formula(f.lhs), self.formula(f.rhs))
+        raise SolverError(f"cannot canonicalize formula {f!r}")
+
+
+def canonicalize(phi: Formula) -> tuple[Formula, list[Var], list[FuncDecl]]:
+    """Rename ``phi`` canonically.  Returns the renamed formula plus the
+    original variables/function symbols indexed by canonical id (the
+    inverse renaming, used to rehydrate cached models)."""
+    c = _Canonicalizer()
+    renamed = c.formula(phi)
+    return renamed, c.vars, c.funcs
+
+
+#: Stored model form: canonical-id -> value, canonical func id -> table.
+_CachedModel = tuple[
+    tuple[tuple[int, int], ...],
+    tuple[tuple[int, tuple[tuple[tuple[int, ...], int], ...]], ...],
+]
+
+
+class SolverCache:
+    """LRU table: canonical formula -> (Result, canonical model or None)."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._table: OrderedDict[Formula, tuple[Result, Optional[_CachedModel]]]
+        self._table = OrderedDict()
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def snapshot(self) -> tuple[int, int]:
+        return self.hits, self.misses
+
+    def hits_since(self, snap: tuple[int, int]) -> int:
+        return self.hits - snap[0]
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # -- access ----------------------------------------------------------
+
+    def get(self, key: Formula) -> Optional[tuple[Result, Optional[_CachedModel]]]:
+        entry = self._table.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._table.move_to_end(key)
+        return entry
+
+    def put(
+        self, key: Formula, result: Result, model: Optional[_CachedModel]
+    ) -> None:
+        self._table[key] = (result, model)
+        self._table.move_to_end(key)
+        while len(self._table) > self.maxsize:
+            self._table.popitem(last=False)
+
+
+#: The process-wide cache used by ``solver.check_sat``/``get_model``.
+GLOBAL_CACHE = SolverCache()

@@ -30,6 +30,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .cache import GLOBAL_CACHE, canonicalize
 from .cnf import AtomMap, to_cnf
 from .errors import Result, SolverError
 from .lia import EQ, LE, NE, Constraint, LiaSolver, normalize
@@ -67,7 +68,19 @@ from .terms import (
     mk_sub,
 )
 
-__all__ = ["Solver", "Model", "check_sat", "is_valid", "get_model"]
+__all__ = [
+    "Solver",
+    "Model",
+    "check_sat",
+    "is_valid",
+    "get_model",
+    "solver_cache",
+]
+
+#: The process-wide canonicalizing result cache behind the one-shot
+#: helpers below.  ``solver_cache.enabled = False`` restores uncached
+#: behaviour; ``snapshot``/``hits_since`` meter a region of work.
+solver_cache = GLOBAL_CACHE
 
 
 @dataclass
@@ -387,24 +400,99 @@ def _eval_int(t: Term, env: dict[Var, int]) -> int:
 
 
 # ---------------------------------------------------------------------------
-# Convenience helpers
+# Convenience helpers — cached behind canonicalized queries
 # ---------------------------------------------------------------------------
 
 
+def _encode_model(m: Model):
+    """Canonical-name model -> compact hashless storage form.  The
+    canonical renaming maps variables to ``$<i>`` and function symbols
+    to ``$f<i>``; only those survive into the cache entry."""
+    env = tuple(
+        sorted(
+            (int(v.name[1:]), val)
+            for v, val in m.env.items()
+            if v.name.startswith("$") and not v.name.startswith("$f")
+        )
+    )
+    funcs = tuple(
+        sorted(
+            (int(f.name[2:]), tuple(sorted(table.items())))
+            for f, table in m.funcs.items()
+            if f.name.startswith("$f")
+        )
+    )
+    return env, funcs
+
+
+def _decode_model(cached, orig_vars, orig_funcs) -> Model:
+    env_t, funcs_t = cached
+    env = {orig_vars[i]: val for i, val in env_t if i < len(orig_vars)}
+    funcs = {
+        orig_funcs[i]: dict(table)
+        for i, table in funcs_t
+        if i < len(orig_funcs)
+    }
+    return Model(env, funcs)
+
+
+def _cached_check(phi: Formula) -> tuple[Result, Optional[Model]]:
+    """Decide ``phi`` through the canonicalizing cache.
+
+    The *canonical* formula is what gets solved, so the verdict and the
+    model are functions of the query's structure alone — however its
+    locations happened to be numbered, and whether or not the entry was
+    already cached.
+    """
+    canon, orig_vars, orig_funcs = canonicalize(phi)
+    entry = GLOBAL_CACHE.get(canon)
+    if entry is None:
+        s = Solver()
+        s.add(canon)
+        res = s.check()
+        stored = _encode_model(s.model()) if res is Result.SAT else None
+        GLOBAL_CACHE.put(canon, res, stored)
+    else:
+        res, stored = entry
+    if stored is None:
+        return res, None
+    return res, _decode_model(stored, orig_vars, orig_funcs)
+
+
 def check_sat(*formulas: Formula, solver: Optional[Solver] = None) -> Result:
-    """One-shot satisfiability check of a conjunction."""
-    s = solver or Solver()
-    s.add(*formulas)
-    return s.check()
+    """One-shot satisfiability check of a conjunction (cached); with an
+    explicit ``solver`` the check runs on its incremental state,
+    uncached."""
+    if solver is not None:
+        solver.add(*formulas)
+        return solver.check()
+    phi = simplify(mk_and(*formulas))
+    if phi == TRUE:
+        return Result.SAT
+    if phi == FALSE:
+        return Result.UNSAT
+    if not GLOBAL_CACHE.enabled:
+        s = Solver()
+        s.add(phi)
+        return s.check()
+    return _cached_check(phi)[0]
 
 
 def get_model(*formulas: Formula) -> Optional[Model]:
     """One-shot model extraction; None unless definitely SAT."""
-    s = Solver()
-    s.add(*formulas)
-    if s.check() is Result.SAT:
-        return s.model()
-    return None
+    phi = simplify(mk_and(*formulas))
+    if phi == FALSE:
+        return None
+    if phi == TRUE:
+        return Model()
+    if not GLOBAL_CACHE.enabled:
+        s = Solver()
+        s.add(phi)
+        if s.check() is Result.SAT:
+            return s.model()
+        return None
+    res, model = _cached_check(phi)
+    return model if res is Result.SAT else None
 
 
 def is_valid(phi: Formula, *axioms: Formula) -> Optional[bool]:

@@ -1,0 +1,90 @@
+"""Cross-backend counterexample normalization (regression).
+
+The two backends used to render the *same* finding differently — core
+emitted bindings like ``0`` and ``err_op "div"`` where scv emitted
+``'0`` and ``err_op "Λ: quotient: division by zero"`` — which made the
+report's agreement section unable to compare counterexamples.  Both
+``counterexample`` modules now normalize to one form: scalar bindings
+render bare, operations under their canonical surface names.
+"""
+
+from repro.core.counterexample import CANONICAL_OPS, canonical_op
+from repro.driver.report import BenchReport
+from repro.driver.runner import RunConfig, verify_program
+from repro.driver.corpus import get_program
+from repro.scv.counterexample import canonical_blame_op, render_datum, render_value
+from repro.scv.machine import Blame
+from repro.lang.ast import Quote
+from repro.lang.sexp import Symbol
+
+CFG = RunConfig(timeout_s=0)
+
+
+class TestCanonicalOps:
+    def test_core_div_maps_to_quotient(self):
+        assert canonical_op("div") == "quotient"
+        assert canonical_op("mod") == "modulo"
+        assert canonical_op("=?") == "="
+
+    def test_unknown_ops_pass_through(self):
+        assert canonical_op("car") == "car"
+
+    def test_scv_prim_blame_reduces_to_op(self):
+        b = Blame("Λ", "a3", "quotient: division by zero")
+        assert canonical_blame_op(b) == "quotient"
+
+    def test_scv_contract_blame_keeps_description(self):
+        b = Blame("m", "a1", "broke (-> positive? positive?) on -1")
+        assert canonical_blame_op(b) == "broke (-> positive? positive?) on -1"
+
+    def test_tables_agree_on_the_overlap(self):
+        # Every canonical name is a surface primitive the scv machine
+        # blames under — the normal forms meet in the middle.
+        assert CANONICAL_OPS["div"] == "quotient"
+        assert CANONICAL_OPS["mod"] == "modulo"
+
+
+class TestScalarRendering:
+    def test_quoted_integers_render_bare(self):
+        assert render_value(Quote(0)) == "0"  # used to be "'0"
+        assert render_value(Quote(-7)) == "-7"
+
+    def test_booleans_render_as_hash(self):
+        assert render_datum(True) == "#t"
+        assert render_datum(False) == "#f"
+
+    def test_nonreal_witness_renders_as_the_papers_0_plus_1i(self):
+        assert render_datum(complex(0, 1)) == "0+1i"
+
+    def test_symbols_and_strings(self):
+        assert render_datum(Symbol("sym")) == "'sym"
+        assert render_datum("x") == '"x"'
+        assert render_datum([]) == "'()"
+
+
+class TestCrossBackendAgreement:
+    def _both(self, name):
+        prog = get_program(name)
+        return [
+            verify_program(prog, CFG, backend=b) for b in ("core", "scv")
+        ]
+
+    def test_shared_finding_is_field_identical(self):
+        core_r, scv_r = self._both("div-unchecked")
+        assert core_r.status == scv_r.status == "counterexample"
+        c, s = core_r.counterexample, scv_r.counterexample
+        assert c.err_op == s.err_op == "quotient"
+        assert c.err_label == s.err_label
+        # The denominator is forced to 0 — both witnesses agree, in the
+        # same spelling.
+        assert set(c.bindings) == set(s.bindings)
+        for label in c.bindings:
+            assert c.bindings[label] == s.bindings[label] == "0"
+
+    def test_agreement_section_compares_counterexamples(self):
+        report = BenchReport(config={})
+        report.results.extend(self._both("div-unchecked"))
+        cex = report.agreement()["counterexamples"]
+        assert cex["compared"] == 1
+        assert cex["matched"] == 1
+        assert cex["mismatches"] == []

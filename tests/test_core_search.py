@@ -56,20 +56,38 @@ class TestStats:
 
 
 class TestTruncation:
-    def test_budget_sets_truncated_flag(self):
+    def _loop_program(self):
         # An unbounded loop: (μ f. λx. f x) 0 never reaches an answer.
-        from repro.core import App, Fix, FunType, Lam, Ref, lam
+        from repro.core import App, Fix, Lam, Ref
 
         loop = Fix(
             "f",
             fun(NAT, NAT),
             Lam("x", NAT, App(Ref("f"), Ref("x"))),
         )
+        return App(loop, Num(0))
+
+    def test_budget_sets_truncated_flag(self):
+        # Without memoisation the loop unrolls forever and the state
+        # budget is what stops it (the pre-kernel behaviour).
         stats = SearchStats()
-        results = list(explore(App(loop, Num(0)), max_states=25, stats=stats))
+        results = list(
+            explore(self._loop_program(), max_states=25, stats=stats, memo=False)
+        )
         assert results == []
         assert stats.truncated is True
         assert stats.states_explored == 25
+
+    def test_memoisation_detects_the_cycle(self):
+        # With memoisation the loop's states repeat canonically (the
+        # unrolled lambdas are unreachable garbage), so the search
+        # terminates on its own: no answers, no truncation.
+        stats = SearchStats()
+        results = list(explore(self._loop_program(), max_states=25, stats=stats))
+        assert results == []
+        assert stats.truncated is False
+        assert stats.pruned > 0
+        assert stats.states_explored < 25
 
     def test_no_truncation_on_terminating_program(self):
         stats = SearchStats()

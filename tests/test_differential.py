@@ -1,0 +1,329 @@
+"""Differential fuzzing: the concrete surface interpreter vs. the core
+symbolic backend, over ~200 seeded random SPCF programs.
+
+Two properties, one per program population:
+
+* **closed programs** (no unknowns) — symbolic execution degenerates to
+  a concrete run, so the verdict must agree with ``conc.interp``
+  exactly: an interpreter fault means ``counterexample`` *at the same
+  blame label*, a clean value means ``safe``;
+* **open programs** (with ``•`` unknowns) — a ``counterexample`` must
+  carry both validation flags (the concrete oracles reproduced the
+  blame), and a ``safe`` verdict is spot-checked by instantiating every
+  unknown with sample values and demanding the interpreter cannot be
+  made to fault.
+
+Any disagreement is *shrunk*: subterms are repeatedly replaced with
+smaller ones while the disagreement persists, and the minimal program
+is what the assertion message reports.
+
+Generator discipline (mirrors the corpus notes in ``driver.corpus``):
+all arithmetic stays nonnegative — subtraction generates as a guarded
+"monus" and ``sub1`` is guarded by ``zero?`` — because Racket's
+truncating ``quotient`` and the core's flooring ``div`` only agree on
+nonnegative operands; ``if`` tests are always predicate results, keeping
+PCF and Racket truthiness aligned.  Division *denominators* are left
+free: reachable zero denominators are exactly the fault class the tool
+exists to find.  In the *open* population multiplication only scales by
+a constant — products of unknowns produce nonlinear queries outside the
+bundled solver's fragment (the documented §5.3 boundary) — and open
+programs run under a wall timeout with inconclusive verdicts counted as
+skips rather than failures.
+"""
+
+import random
+
+import pytest
+
+from repro.conc.interp import Interp, InterpTimeout, PrimBlame, RuntimeFault
+from repro.driver.runner import RunConfig, verify_source
+from repro.lang.ast import reset_labels
+from repro.lang.parser import parse_program
+from repro.scv.counterexample import opaque_labels
+
+SEED = 20260726
+N_CLOSED = 140
+N_OPEN = 60
+FUEL = 200_000
+
+CFG = RunConfig(timeout_s=0, fuel=FUEL)
+
+# ---------------------------------------------------------------------------
+# Program generator — a tiny nat-sorted tree grammar
+# ---------------------------------------------------------------------------
+
+_LEAVES = ("num", "var", "opq")
+_UNARY = ("add1", "sub1z")
+_BINARY = ("+", "*", "monus", "quotient", "modk")
+_STRUCTURED = ("ifz", "iflt", "let", "app")
+
+
+def gen(rng: random.Random, depth: int, env: tuple, allow_opq: bool):
+    """A random nonnegative-integer-sorted expression tree."""
+    leaves = ["num"] * 3 + (["var"] * 3 if env else []) + (
+        ["opq"] * 2 if allow_opq else []
+    )
+    if depth <= 0:
+        kind = rng.choice(leaves)
+    else:
+        kind = rng.choice(
+            leaves + list(_UNARY) + 3 * list(_BINARY) + 2 * list(_STRUCTURED)
+        )
+    if kind == "num":
+        return ("num", rng.randint(0, 3))
+    if kind == "var":
+        return ("var", rng.choice(env))
+    if kind == "opq":
+        return ("opq",)
+    if kind in _UNARY:
+        return (kind, gen(rng, depth - 1, env, allow_opq))
+    if kind == "modk":
+        return ("modk", gen(rng, depth - 1, env, allow_opq), rng.randint(1, 3))
+    if kind == "*" and allow_opq:
+        # Keep symbolic queries linear: scale by a constant.
+        return ("*", ("num", rng.randint(0, 3)),
+                gen(rng, depth - 1, env, allow_opq))
+    if kind in _BINARY:
+        return (
+            kind,
+            gen(rng, depth - 1, env, allow_opq),
+            gen(rng, depth - 1, env, allow_opq),
+        )
+    if kind in ("ifz", "iflt"):
+        return (
+            kind,
+            gen(rng, depth - 1, env, allow_opq),
+            *(() if kind == "ifz" else (gen(rng, depth - 1, env, allow_opq),)),
+            gen(rng, depth - 1, env, allow_opq),
+            gen(rng, depth - 1, env, allow_opq),
+        )
+    x = f"x{len(env)}"
+    bound = gen(rng, depth - 1, env, allow_opq)
+    body = gen(rng, depth - 1, env + (x,), allow_opq)
+    return (kind, x, bound, body)  # "let" | "app"
+
+
+def render(t) -> str:
+    kind = t[0]
+    if kind == "num":
+        return str(t[1])
+    if kind == "var":
+        return t[1]
+    if kind == "opq":
+        return "•"
+    if kind == "add1":
+        return f"(add1 {render(t[1])})"
+    if kind == "sub1z":
+        # Guarded decrement: stays nonnegative.
+        return f"(let ([s {render(t[1])}]) (if (zero? s) 0 (sub1 s)))"
+    if kind == "monus":
+        # Guarded subtraction: stays nonnegative.
+        return (
+            f"(let ([a {render(t[1])}]) (let ([b {render(t[2])}])"
+            f" (if (< a b) 0 (- a b))))"
+        )
+    if kind == "modk":
+        return f"(modulo {render(t[1])} {t[2]})"
+    if kind in ("+", "*", "quotient"):
+        return f"({kind} {render(t[1])} {render(t[2])})"
+    if kind == "ifz":
+        return f"(if (zero? {render(t[1])}) {render(t[2])} {render(t[3])})"
+    if kind == "iflt":
+        return (
+            f"(if (< {render(t[1])} {render(t[2])}) "
+            f"{render(t[3])} {render(t[4])})"
+        )
+    if kind == "let":
+        return f"(let ([{t[1]} {render(t[2])}]) {render(t[3])})"
+    if kind == "app":
+        return f"((lambda ({t[1]}) {render(t[3])}) {render(t[2])})"
+    raise ValueError(f"unrenderable {t!r}")
+
+
+def size(t) -> int:
+    return 1 + sum(size(c) for c in t if isinstance(c, tuple))
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+
+def conc_verdict(source: str):
+    """Run the surface program concretely: ('error', label) | ('value',)
+    | ('skip',) when the oracle itself cannot run it."""
+    reset_labels()
+    try:
+        program = parse_program(source)
+    except Exception:
+        return ("skip",)
+    try:
+        Interp(fuel=FUEL).run_program(program)
+    except PrimBlame as b:
+        return ("error", b.label)
+    except (RuntimeFault, InterpTimeout, RecursionError):
+        return ("skip",)
+    return ("value",)
+
+
+def disagreement(source: str):
+    """None when backends agree; otherwise a description string."""
+    conc = conc_verdict(source)
+    if conc[0] == "skip":
+        return None
+    r = verify_source(source, backend="core", config=CFG)
+    if conc[0] == "error":
+        if r.status != "counterexample":
+            return f"conc blames {conc[1]} but core says {r.status}"
+        cex = r.counterexample
+        if cex.err_label != conc[1]:
+            return (
+                f"conc blames {conc[1]} but core blames {cex.err_label}"
+            )
+        if cex.validated_conc is not True or cex.validated_core is not True:
+            return (
+                f"core counterexample failed validation "
+                f"(core={cex.validated_core}, conc={cex.validated_conc})"
+            )
+        return None
+    if r.status != "safe":
+        return f"conc produces a value but core says {r.status}: {r.detail}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def _subst(t, name: str, repl):
+    if t[0] == "var":
+        return repl if t[1] == name else t
+    if t[0] in ("let", "app"):
+        bound = _subst(t[2], name, repl)
+        body = t[3] if t[1] == name else _subst(t[3], name, repl)
+        return (t[0], t[1], bound, body)
+    return tuple(
+        _subst(c, name, repl) if isinstance(c, tuple) else c for c in t
+    )
+
+
+def candidates(t):
+    """One-step-smaller variants of ``t`` (child hoisting, constant
+    collapse, recursive rewriting)."""
+    yield ("num", 0)
+    yield ("num", 1)
+    kind = t[0]
+    if kind in ("add1", "sub1z", "modk"):
+        yield t[1]
+    elif kind in ("+", "*", "monus", "quotient"):
+        yield t[1]
+        yield t[2]
+    elif kind == "ifz":
+        yield t[2]
+        yield t[3]
+        yield t[1]
+    elif kind == "iflt":
+        yield from (t[1], t[2], t[3], t[4])
+    elif kind in ("let", "app"):
+        yield t[2]
+        yield _subst(t[3], t[1], ("num", 0))
+        yield _subst(t[3], t[1], t[2])
+    for i, c in enumerate(t):
+        if not isinstance(c, tuple):
+            continue
+        for sub in candidates(c):
+            yield t[:i] + (sub,) + t[i + 1:]
+
+
+def shrink(t, still_fails) -> tuple:
+    improved = True
+    while improved:
+        improved = False
+        for cand in candidates(t):
+            if size(cand) < size(t) and still_fails(cand):
+                t = cand
+                improved = True
+                break
+    return t
+
+
+# ---------------------------------------------------------------------------
+# The tests
+# ---------------------------------------------------------------------------
+
+
+def _report_failure(tree, why: str, population: str):
+    minimal = shrink(tree, lambda c: disagreement(render(c)) is not None)
+    pytest.fail(
+        f"[{population}] backends disagree on\n  {render(minimal)}\n"
+        f"original ({size(tree)} nodes): {render(tree)}\n"
+        f"disagreement: {disagreement(render(minimal)) or why}"
+    )
+
+
+class TestClosedPrograms:
+    def test_conc_and_core_agree_on_140_random_closed_programs(self):
+        rng = random.Random(SEED)
+        checked = 0
+        for _ in range(N_CLOSED):
+            tree = gen(rng, depth=4, env=(), allow_opq=False)
+            why = disagreement(render(tree))
+            if why is not None:
+                _report_failure(tree, why, "closed")
+            checked += 1
+        assert checked == N_CLOSED
+
+
+class TestOpenPrograms:
+    def _sample_instantiations(self, source: str):
+        reset_labels()
+        program = parse_program(source)
+        labels = sorted(set(opaque_labels(program)))
+        for v in (0, 1, 2, 7):
+            exprs = {}
+            for label in labels:
+                reset_labels()
+                exprs[label] = parse_program(str(v)).main
+            reset_labels()
+            program = parse_program(source)
+            try:
+                Interp(fuel=FUEL).run_program(program, opaque_exprs=exprs)
+            except PrimBlame as b:
+                return v, b.label
+            except (RuntimeFault, InterpTimeout, RecursionError):
+                continue
+        return None
+
+    def test_core_verdicts_hold_up_on_60_random_open_programs(self):
+        rng = random.Random(SEED + 1)
+        # Solver-hard programs degrade to timeout/no-model rows instead
+        # of wedging the suite; those are skips, not failures.
+        cfg = RunConfig(timeout_s=5.0, fuel=FUEL)
+        cexs = safes = 0
+        for _ in range(N_OPEN):
+            tree = gen(rng, depth=4, env=(), allow_opq=True)
+            source = render(tree)
+            r = verify_source(source, backend="core", config=cfg)
+            if r.status == "counterexample":
+                cexs += 1
+                cex = r.counterexample
+                if cex.validated_core is not True or cex.validated_conc is not True:
+                    _report_failure(
+                        tree,
+                        f"unvalidated counterexample (core={cex.validated_core}, "
+                        f"conc={cex.validated_conc})",
+                        "open",
+                    )
+            elif r.status == "safe":
+                safes += 1
+                witness = self._sample_instantiations(source)
+                if witness is not None:
+                    v, label = witness
+                    pytest.fail(
+                        f"[open] core proved safe but • = {v} blames {label}"
+                        f" in\n  {source}"
+                    )
+        # The populations must both be non-trivially exercised.
+        assert cexs > 5
+        assert safes > 5

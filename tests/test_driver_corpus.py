@@ -115,15 +115,22 @@ class TestCorpusRoundTrip:
 TOP_KEYS = {"schema", "config", "totals", "backends", "agreement", "programs"}
 PROGRAM_KEYS = {
     "name", "kind", "status", "wall_ms", "backend", "states_explored",
-    "proof_queries", "solver_queries", "errors_found", "cex_attempts",
-    "counterexample", "detail",
+    "proof_queries", "solver_queries", "pruned_states", "solver_cache_hits",
+    "errors_found", "cex_attempts", "counterexample", "detail",
 }
-CEX_KEYS = {"bindings", "err_label", "err_op", "validated_core", "validated_conc"}
+CEX_KEYS = {
+    "bindings", "err_label", "err_op", "validated_core", "validated_conc",
+    "err_detail",
+}
 TOTALS_KEYS = {
     "programs", "as_expected", "unexpected", "safe", "counterexamples",
-    "timeouts", "states_explored", "solver_queries", "wall_ms",
+    "timeouts", "states_explored", "pruned_states", "solver_queries",
+    "solver_cache_hits", "wall_ms",
 }
-AGREEMENT_KEYS = {"shared_programs", "agreed", "inconclusive", "disagreements"}
+AGREEMENT_KEYS = {
+    "shared_programs", "agreed", "inconclusive", "disagreements",
+    "counterexamples",
+}
 
 
 class TestReportSchema:

@@ -1,0 +1,55 @@
+"""The CI perf-regression gate (``repro.driver.perfgate``)."""
+
+import json
+
+from repro.driver.perfgate import compare, main
+
+
+def _report(tmp_path, name, states, wall):
+    path = tmp_path / name
+    path.write_text(json.dumps({
+        "schema": "repro-bench/v3",
+        "totals": {"states_explored": states, "wall_ms": wall},
+    }))
+    return str(path)
+
+
+class TestCompare:
+    def test_within_budget_passes(self):
+        lines = compare(
+            {"states_explored": 100, "wall_ms": 1000},
+            {"states_explored": 110, "wall_ms": 1100},
+            0.20,
+        )
+        assert not any(line.startswith("FAIL") for line in lines)
+
+    def test_regression_beyond_budget_fails(self):
+        lines = compare(
+            {"states_explored": 100, "wall_ms": 1000},
+            {"states_explored": 130, "wall_ms": 1000},
+            0.20,
+        )
+        assert any(line.startswith("FAIL") for line in lines)
+
+    def test_improvements_never_fail(self):
+        lines = compare(
+            {"states_explored": 100, "wall_ms": 1000},
+            {"states_explored": 10, "wall_ms": 100},
+            0.20,
+        )
+        assert not any(line.startswith("FAIL") for line in lines)
+
+    def test_zero_baseline_is_skipped_not_divided_by(self):
+        lines = compare({"states_explored": 0}, {"states_explored": 50}, 0.2)
+        assert any(line.startswith("SKIP") for line in lines)
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path):
+        base = _report(tmp_path, "base.json", 100, 1000)
+        good = _report(tmp_path, "good.json", 105, 1010)
+        bad = _report(tmp_path, "bad.json", 200, 1000)
+        assert main([base, good]) == 0
+        assert main([base, bad]) == 1
+        assert main([base, bad, "--max-regress", "1.5"]) == 0
+        assert main([str(tmp_path / "missing.json"), good]) == 2

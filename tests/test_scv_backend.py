@@ -97,7 +97,8 @@ class TestScvBackendVerdicts:
         # itself has no program-level binding to reconstruct).
         r = verify_program(get_program("tower-number-compare"), CFG, backend="scv")
         assert r.status == STATUS_COUNTEREXAMPLE
-        assert "nonreal" in r.counterexample.err_op
+        assert r.counterexample.err_op == "<"  # canonical surface op
+        assert "nonreal" in r.counterexample.err_detail
 
     def test_validated_counterexample_on_shared_program(self):
         r = verify_source(
