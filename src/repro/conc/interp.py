@@ -355,15 +355,17 @@ class Interp:
 
         for sdef in module.structs:
             stype = StructType(sdef.name, sdef.fields)
-            menv.define(sdef.name, StructCtor(stype))
-            menv.define(
-                f"{sdef.name}?",
-                Prim(
+            bindings: list[tuple[str, object]] = [
+                (sdef.name, StructCtor(stype)),
+                (
                     f"{sdef.name}?",
-                    lambda args, ctx, st=stype: isinstance(args[0], StructVal)
-                    and args[0].type == st,
+                    Prim(
+                        f"{sdef.name}?",
+                        lambda args, ctx, st=stype: isinstance(args[0], StructVal)
+                        and args[0].type == st,
+                    ),
                 ),
-            )
+            ]
             for i, fieldname in enumerate(sdef.fields):
                 accessor = f"{sdef.name}-{fieldname}"
 
@@ -373,14 +375,25 @@ class Interp:
                         raise PrimError(name, f"expected {st.name}, got {v!r}")
                     return v.values[idx]
 
-                menv.define(accessor, Prim(accessor, acc))
+                bindings.append((accessor, Prim(accessor, acc)))
+            for bname, bval in bindings:
+                menv.define(bname, bval)
+                # Struct bindings are global in the symbolic engine's base
+                # heap; mirroring that lets synthesized clients (which run
+                # outside the module) build and inspect its structs.
+                self.globals.define(bname, bval)
 
         for oname, ctc_expr in module.opaques:
-            if oname not in opaque_values:
+            if oname in opaque_values:
+                value = opaque_values[oname]
+            elif oname in self.opaque_exprs:
+                # Counterexample instantiation: an unknown import closed
+                # over by a synthesized expression (scalar or lambda).
+                value = self.eval(self.opaque_exprs[oname], self.globals)
+            else:
                 raise RuntimeFault(
                     f"module {module.name}: opaque {oname} has no concrete value"
                 )
-            value = opaque_values[oname]
             if ctc_expr is not None:
                 ctc = self._eval_contract(ctc_expr, menv)
                 value = self.monitor(

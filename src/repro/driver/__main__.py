@@ -3,6 +3,8 @@
 Subcommands (full reference: docs/CLI.md):
 
 * ``verify FILE``  — run the full pipeline on one surface program;
+  ``--emit-cex-client`` additionally prints the synthesized closed
+  client program behind a counterexample (docs/COUNTEREXAMPLES.md);
 * ``bench``        — run the benchmark corpus (optionally in parallel)
   and write the machine-readable ``BENCH_driver.json``;
 * ``corpus list`` / ``corpus show NAME`` — inspect the corpus.
@@ -101,7 +103,19 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                          indent=2, sort_keys=True))
     else:
         for r in results:
-            print(render_result(r, verbose=True))
+            # With --emit-cex-client the client is printed once, as the
+            # raw extractable block below, not also inside the row.
+            print(render_result(
+                r, verbose=True, show_client=not args.emit_cex_client
+            ))
+            if (
+                args.emit_cex_client
+                and r.counterexample is not None
+                and r.counterexample.client
+            ):
+                print(f";; [{r.backend}] synthesized counterexample client "
+                      "(closed program; re-runs the blame concretely):")
+                print(r.counterexample.client.rstrip())
     statuses = {r.status for r in results}
     if len(results) > 1 and statuses == {STATUS_SAFE, STATUS_COUNTEREXAMPLE}:
         print("repro: backends disagree", file=sys.stderr)
@@ -181,6 +195,11 @@ def main(argv: list[str] | None = None) -> int:
     p_verify = sub.add_parser("verify", help="verify one program file")
     p_verify.add_argument("file", help="surface-syntax program ('-' for stdin)")
     p_verify.add_argument("--json", action="store_true", help="JSON output")
+    p_verify.add_argument(
+        "--emit-cex-client", action="store_true",
+        help="after a counterexample, print the synthesized closed client "
+        "program (runnable surface syntax) that reproduces the blame",
+    )
     _add_budget_flags(p_verify)
     p_verify.set_defaults(fn=_cmd_verify)
 

@@ -10,9 +10,13 @@ A :class:`Backend` turns surface source text into a
 * ``scv`` — the untyped §4 pipeline: ``scv.engine`` assembles the
   program (modules, contracts, demonic client) for the untyped machine,
   ``scv.delta``/``scv.proof`` drive its branching, and
-  ``scv.counterexample`` models blame states.  Counterexamples for
-  module programs are demonic-context findings with no concrete client
-  to re-run, so their validation flags read "skipped".
+  ``scv.counterexample`` models blame states.  Module findings are
+  re-run through the demonic client ``repro.synth`` reconstructs from
+  the blame heap, so they validate concretely like everything else.
+
+Counterexample rows from either backend carry the closed, runnable
+surface program (``CexReport.client``) that reproduces the blame —
+printed by ``repro verify --emit-cex-client``.
 
 Both backends enforce the same wall-clock deadline and report the same
 result schema, which is what makes ``--backend both`` cross-checking
@@ -60,6 +64,7 @@ from ..scv import (
 from ..scv.counterexample import canonical_blame_op
 from ..scv.counterexample import render_bindings as render_scv_bindings
 from ..scv.machine import reset_syn_labels
+from ..synth import closed_program_text
 from .lower import LowerError, lower_program, raise_expr
 from .report import (
     STATUS_COUNTEREXAMPLE,
@@ -168,7 +173,8 @@ class _ResultBuilder:
         self.t0 = time.perf_counter()
 
     def done(self, status: str, *, states: int, proof_queries: int,
-             solver_queries: int, pruned: int = 0, **kw) -> ProgramResult:
+             solver_queries: int, pruned: int = 0, chained: int = 0,
+             **kw) -> ProgramResult:
         hits = solver_cache.hits_since(self._cache_snap)
         solver_cache.enabled = self._prev_cache_enabled
         return ProgramResult(
@@ -182,6 +188,7 @@ class _ResultBuilder:
             solver_queries=solver_queries,
             pruned_states=pruned,
             solver_cache_hits=hits,
+            chained_steps=chained,
             **kw,
         )
 
@@ -206,12 +213,15 @@ class TypedCoreBackend:
         rb = _ResultBuilder(self.name, name, kind, memo=cfg.memo)
 
         def done(status: str, **kw) -> ProgramResult:
+            # Reads every counter at call time, so rows cut short by the
+            # SIGALRM deadline still report the partial work observed.
             return rb.done(
                 status,
                 states=stats.states_explored,
                 proof_queries=proof.queries,
                 solver_queries=proof.solver_queries,
                 pruned=stats.pruned,
+                chained=stats.chained,
                 **kw,
             )
 
@@ -244,8 +254,11 @@ class TypedCoreBackend:
                     )
                     if cex is None or not cex.validated:
                         continue
+                    surface_bindings = {
+                        label: raise_expr(v) for label, v in cex.bindings.items()
+                    }
                     conc_ok = _surface_revalidate(
-                        program, cex.bindings, cex.err.label, cfg.fuel
+                        program, surface_bindings, cex.err.label, cfg.fuel
                     )
                     return done(
                         STATUS_COUNTEREXAMPLE,
@@ -258,6 +271,9 @@ class TypedCoreBackend:
                             validated_core=bool(cex.validated),
                             validated_conc=conc_ok,
                             err_detail=cex.err.op,
+                            client=closed_program_text(
+                                program, surface_bindings
+                            ),
                         ),
                     )
         except _Deadline:
@@ -288,12 +304,11 @@ class TypedCoreBackend:
 
 
 def _surface_revalidate(
-    program: Program, bindings: dict, err_label: str, fuel: int
+    program: Program, opaque_exprs: dict, err_label: str, fuel: int
 ) -> bool:
     """Independent oracle for the core backend: instantiate the
     *surface* program with the counterexample and confirm the surface
     interpreter blames the same source label."""
-    opaque_exprs = {label: raise_expr(v) for label, v in bindings.items()}
     interp = Interp(fuel=fuel)
     try:
         interp.run_program(program, opaque_exprs=opaque_exprs)
@@ -324,12 +339,15 @@ class UntypedScvBackend:
         proof_queries = solver_queries = 0
 
         def done(status: str, **kw) -> ProgramResult:
+            # As in the core backend: counters are read at call time so
+            # deadline-interrupted rows keep their partial stats.
             return rb.done(
                 status,
                 states=stats.states_explored,
                 proof_queries=proof_queries,
                 solver_queries=solver_queries,
                 pruned=stats.pruned,
+                chained=stats.chained,
                 **kw,
             )
 
@@ -374,6 +392,7 @@ class UntypedScvBackend:
                             validated_core=None,  # scv has one oracle
                             validated_conc=cex.validated,
                             err_detail=f"{blame.party}: {blame.description}",
+                            client=cex.closed_program(program),
                         ),
                     )
         except _Deadline:

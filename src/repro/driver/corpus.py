@@ -1,13 +1,13 @@
 """The seeded benchmark corpus.
 
-Forty-eight small higher-order programs in the surface syntax, arranged
-as safe/buggy pairs in the style of the paper's §5 evaluation: each
-buggy variant seeds exactly the kind of fault the tool exists to find
-(a reachable partial-primitive application or contract violation), and
+Sixty small higher-order programs in the surface syntax, arranged as
+safe/buggy pairs in the style of the paper's §5 evaluation: each buggy
+variant seeds exactly the kind of fault the tool exists to find (a
+reachable partial-primitive application or contract violation), and
 each safe variant guards it so that every symbolic path is provably
 error-free.
 
-Two sections:
+Three sections:
 
 * the **shared subset** (32 programs) stays contract-free and
   SPCF-expressible, runs on both backends, and is the cross-check
@@ -16,7 +16,14 @@ Two sections:
   ``scv`` only) exercises what only the untyped engine can express:
   flat/dependent/higher-order/data/struct/or contracts on module
   boundaries, opaque imports, and the numeric-tower ``number?`` vs
-  ``real?`` distinction behind the paper's ``0+1i`` counterexamples.
+  ``real?`` distinction behind the paper's ``0+1i`` counterexamples;
+* the **synthesis section** (12 programs, tags ``contracts``+``synth``,
+  backend ``scv`` only) stresses demonic-context reconstruction
+  (``repro.synth``): function-valued opaque imports, callbacks through
+  dependent contracts, stateful modules the client drives with
+  ``set!``-visible effects, multi-provide dispatch, and nested havoc —
+  every buggy variant's finding must re-run concretely through its
+  synthesized client.
 
 Shared-subset discipline (see ``driver.lower``):
 
@@ -474,6 +481,133 @@ CORPUS: tuple[CorpusProgram, ...] = (
         "  (provide [scale (-> (or/c boolean? integer?) integer?)]))",
         "the non-boolean disjunct is total arithmetic",
         "or-ctc",
+    ),
+    # ------------------------------------------------------------------
+    # Demonic-context synthesis scenarios (tag `synth`): module programs
+    # whose counterexamples exercise `repro.synth` — the blame only
+    # reproduces when the *client itself* is reconstructed concretely
+    # (function-valued opaque imports rendered as dispatch lambdas,
+    # callbacks fed through dependent contracts, stateful modules driven
+    # by the client, multi-provide dispatch, nested havoc).
+    # ------------------------------------------------------------------
+    _buggy_scv(
+        "fn-opaque-constant",
+        "(module m\n"
+        "  (define-opaque f (-> integer? integer?))\n"
+        "  (define (probe) (quotient 100 (- 10 (f 5))))\n"
+        "  (provide [probe (-> integer?)]))",
+        "a function-valued opaque import with f(5) = 10 zeroes the "
+        "denominator; the synthesized client pins f as a dispatch lambda",
+        "smoke", "synth", "opaque-module",
+    ),
+    _safe_scv(
+        "fn-opaque-constant-guarded",
+        "(module m\n"
+        "  (define-opaque f (-> integer? integer?))\n"
+        "  (define (my-abs x) (if (< x 0) (- 0 x) x))\n"
+        "  (define (probe) (quotient 100 (add1 (my-abs (- 10 (f 5))))))\n"
+        "  (provide [probe (-> integer?)]))",
+        "|10 - f(5)| + 1 is positive for every integer-valued f",
+        "synth", "opaque-module",
+    ),
+    _buggy_scv(
+        "callback-diff",
+        "(module m\n"
+        "  (define (diff f) (- (f 0) (f 0)))\n"
+        "  (provide [diff (-> (-> integer? integer?) positive?)]))",
+        "functional consistency: f(0) - f(0) is zero, breaking the "
+        "positive? range for every synthesized callback",
+        "synth", "higher-order-ctc",
+    ),
+    _safe_scv(
+        "callback-diff-abs",
+        "(module m\n"
+        "  (define (my-abs x) (if (< x 0) (- 0 x) x))\n"
+        "  (define (diff f) (add1 (my-abs (- (f 0) (f 0)))))\n"
+        "  (provide [diff (-> (-> integer? integer?) positive?)]))",
+        "|f(0) - f(0)| + 1 is positive whatever the callback returns",
+        "synth", "higher-order-ctc",
+    ),
+    _buggy_scv(
+        "dep-ctc-callback",
+        "(module m\n"
+        "  (define (between lo) (lambda (x) (quotient 100 (- x lo))))\n"
+        "  (provide [between (->d ([lo integer?])\n"
+        "                         (-> (and/c integer? (>=/c lo)) integer?))]))",
+        "nested havoc: the client calls (between lo) and then applies "
+        "the returned function at x = lo, where x - lo is zero",
+        "synth", "dependent", "nested-havoc",
+    ),
+    _safe_scv(
+        "dep-ctc-callback-strict",
+        "(module m\n"
+        "  (define (between lo) (lambda (x) (quotient 100 (- x lo))))\n"
+        "  (provide [between (->d ([lo integer?])\n"
+        "                         (-> (and/c integer? (>/c lo)) integer?))]))",
+        "strictly above lo, x - lo is at least one",
+        "synth", "dependent", "nested-havoc",
+    ),
+    _buggy_scv(
+        "stateful-counter",
+        "(module m\n"
+        "  (define calls 0)\n"
+        "  (define (tick) (begin (set! calls (add1 calls))\n"
+        "                        (quotient 100 (- 1 calls))))\n"
+        "  (provide [tick (-> integer?)]))",
+        "module state: the client's very first tick sets calls to 1 and "
+        "divides by 1 - calls",
+        "smoke", "synth", "state",
+    ),
+    _safe_scv(
+        "stateful-counter-guarded",
+        "(module m\n"
+        "  (define calls 0)\n"
+        "  (define (tick) (begin (set! calls (add1 calls))\n"
+        "                        (quotient 100 (add1 calls))))\n"
+        "  (provide [tick (-> integer?)]))",
+        "calls + 1 is at least 2 after the increment",
+        "synth", "state",
+    ),
+    _buggy_scv(
+        "two-provides",
+        "(module m\n"
+        "  (define (fine x) (+ x 1))\n"
+        "  (define (risky x) (quotient 100 x))\n"
+        "  (provide [fine (-> integer? integer?)]\n"
+        "           [risky (-> integer? integer?)]))",
+        "client dispatch over two provides: only probing risky at 0 "
+        "finds the fault",
+        "synth", "multi-provide",
+    ),
+    _safe_scv(
+        "two-provides-guarded",
+        "(module m\n"
+        "  (define (fine x) (+ x 1))\n"
+        "  (define (risky x) (if (zero? x) 1 (quotient 100 x)))\n"
+        "  (provide [fine (-> integer? integer?)]\n"
+        "           [risky (-> integer? integer?)]))",
+        "both provides are total on integers",
+        "synth", "multi-provide",
+    ),
+    _buggy_scv(
+        "ho-opaque-twice",
+        "(module m\n"
+        "  (define-opaque g (-> integer? integer?))\n"
+        "  (define (run) (quotient 100 (g (g 3))))\n"
+        "  (provide [run (-> integer?)]))",
+        "nested applications of an opaque function: g(3) = a, g(a) = 0 "
+        "synthesizes a two-entry dispatch lambda",
+        "synth", "opaque-module",
+    ),
+    _safe_scv(
+        "ho-opaque-twice-guarded",
+        "(module m\n"
+        "  (define-opaque g (-> integer? integer?))\n"
+        "  (define (my-abs x) (if (< x 0) (- 0 x) x))\n"
+        "  (define (run) (quotient 100 (add1 (my-abs (g (g 3))))))\n"
+        "  (provide [run (-> integer?)]))",
+        "|g(g(3))| + 1 is positive for every integer-valued g",
+        "synth", "opaque-module",
     ),
 )
 

@@ -15,6 +15,14 @@ either gated total:
   slowdowns (an accidentally quadratic fingerprint, a cache that stopped
   hitting).
 
+One total is gated in the *other* direction, with no tolerance:
+
+* ``validated_counterexamples`` — counterexample rows whose synthesized
+  client / instantiated program re-ran concretely to the same blame.
+  Any drop against the baseline means a synthesis or validation
+  regression (a finding went back to "skipped" or stopped reproducing)
+  and fails the build outright.
+
 Schema changes are tolerated: only the gated totals are read, and a
 baseline written by an older schema still gates a newer fresh report.
 Improvements are reported but never fail the gate — commit the fresh
@@ -27,10 +35,15 @@ import argparse
 import json
 import sys
 
-#: (key, pretty name) of the gated totals.
+#: (key, pretty name) of the gated totals (regressions grow the value).
 GATED = (
     ("states_explored", "states explored"),
     ("wall_ms", "wall time (ms)"),
+)
+
+#: (key, pretty name) of ratchet totals: any decrease fails the gate.
+GATED_MIN = (
+    ("validated_counterexamples", "validated counterexamples"),
 )
 
 
@@ -60,6 +73,20 @@ def compare(baseline: dict, fresh: dict, max_regress: float) -> list[str]:
         line = f"{pretty}: {old:g} -> {new:g} ({ratio:+.1%} {word})"
         if ratio > max_regress:
             lines.append(f"FAIL {line} exceeds the {max_regress:.0%} budget")
+        else:
+            lines.append(f"ok   {line}")
+    for key, pretty in GATED_MIN:
+        old = baseline.get(key)
+        new = fresh.get(key)
+        if old is None:  # pre-v4 baseline: nothing to ratchet against
+            lines.append(f"SKIP {pretty}: not in the baseline report")
+            continue
+        if new is None:
+            lines.append(f"SKIP {pretty}: missing from the fresh report")
+            continue
+        line = f"{pretty}: {old:g} -> {new:g}"
+        if new < old:
+            lines.append(f"FAIL {line} dropped below the baseline")
         else:
             lines.append(f"ok   {line}")
     return lines

@@ -7,14 +7,25 @@ serialised as ``BENCH_driver.json``.  The JSON shape is versioned
 of the benchmark file are meaningful and the perf trajectory can be
 tracked across commits.
 
-Schema ``repro-bench/v3`` (the search-kernel revision; supersedes the
-multi-backend ``v2``):
+Schema ``repro-bench/v4`` (the executable-counterexample revision;
+supersedes the search-kernel ``v3``):
 
 * every program row carries a ``backend`` field (``core`` or ``scv``);
 * rows and totals carry the search kernel's economy counters:
   ``pruned_states`` (frontier states dropped by fingerprint
-  memoisation/subsumption) and ``solver_cache_hits`` (queries answered
-  by the canonicalized solver-result cache);
+  memoisation/subsumption), ``solver_cache_hits`` (queries answered by
+  the canonicalized solver-result cache), and — new in v4 —
+  ``chained_steps`` (deterministic micro-steps folded into macro
+  states), so partial work stays visible even on rows whose budget
+  expired inside a compressed chain;
+* counterexample rows carry ``client``: the closed, runnable surface
+  program synthesized by ``repro.synth`` (modules with opaque imports
+  instantiated plus the demonic-client call, or the instantiated main
+  for top-level programs), and module findings now report a real
+  ``validated_conc`` verdict instead of ``null``/skipped;
+* totals gain ``validated_counterexamples`` — the count of
+  counterexample rows whose surface re-run confirmed the blame — which
+  the CI perf gate treats as ratchet-only (a drop fails the build);
 * ``backends`` holds per-backend totals (counts, states, solver
   queries, cache hits, wall time) so the two engines' cost profiles
   diff cleanly;
@@ -34,7 +45,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-SCHEMA = "repro-bench/v3"
+SCHEMA = "repro-bench/v4"
 
 # Terminal statuses a verification attempt can end in.
 STATUS_SAFE = "safe"  # search exhausted, no (modelable) error
@@ -60,9 +71,14 @@ class CexReport:
     backend's original colourful description.
 
     Validation flags are three-valued: True/False record a re-run's
-    outcome, None records that the oracle was skipped (the scv backend
-    skips both for demonic-context counterexamples, which have no
-    concrete client to re-run)."""
+    outcome, None records that the oracle was skipped (rare since the
+    demonic-context synthesis of ``repro.synth``: only module programs
+    whose client cannot be reconstructed at all).
+
+    ``client`` is the executable artifact: a closed surface program —
+    modules with their opaque imports instantiated, plus the
+    synthesized client call (or the instantiated main, for top-level
+    programs) — that reproduces the blame under ``conc.interp``."""
 
     bindings: dict[str, str]  # opaque label -> canonical value
     err_label: str
@@ -70,6 +86,7 @@ class CexReport:
     validated_core: Optional[bool]  # re-run under the symbolic backend's oracle
     validated_conc: Optional[bool]  # re-run under conc.interp (None: skipped)
     err_detail: str = ""  # backend-specific original rendering
+    client: Optional[str] = None  # closed runnable surface program
 
 
 @dataclass
@@ -84,6 +101,7 @@ class ProgramResult:
     solver_queries: int = 0
     pruned_states: int = 0  # dropped by fingerprint memoisation
     solver_cache_hits: int = 0  # queries answered from the result cache
+    chained_steps: int = 0  # micro-steps folded into macro states
     errors_found: int = 0
     cex_attempts: int = 0
     counterexample: Optional[CexReport] = None
@@ -114,8 +132,16 @@ def _totals(results: list[ProgramResult]) -> dict:
         "counterexamples": sum(
             1 for r in results if r.status == STATUS_COUNTEREXAMPLE
         ),
+        "validated_counterexamples": sum(
+            1
+            for r in results
+            if r.status == STATUS_COUNTEREXAMPLE
+            and r.counterexample is not None
+            and r.counterexample.validated_conc is True
+        ),
         "timeouts": sum(1 for r in results if r.status == STATUS_TIMEOUT),
         "states_explored": sum(r.states_explored for r in results),
+        "chained_steps": sum(r.chained_steps for r in results),
         "pruned_states": sum(r.pruned_states for r in results),
         "solver_queries": sum(r.solver_queries for r in results),
         "solver_cache_hits": sum(r.solver_cache_hits for r in results),
@@ -272,7 +298,9 @@ _STATUS_MARK = {
 _VALIDATION_WORD = {True: "ok", False: "FAILED", None: "skipped"}
 
 
-def render_result(r: ProgramResult, *, verbose: bool = False) -> str:
+def render_result(
+    r: ProgramResult, *, verbose: bool = False, show_client: bool = True
+) -> str:
     mark = _STATUS_MARK.get(r.status, "?")
     flag = ""
     if r.as_expected is False:
@@ -290,6 +318,9 @@ def render_result(r: ProgramResult, *, verbose: bool = False) -> str:
             f"(core: {_VALIDATION_WORD[cex.validated_core]}, "
             f"surface: {_VALIDATION_WORD[cex.validated_conc]})"
         )
+        if verbose and show_client and cex.client:
+            parts.append("    client program:")
+            parts.extend(f"      {ln}" for ln in cex.client.rstrip().splitlines())
         line += "\n" + "\n".join(parts)
     if r.detail and (verbose or r.status in (STATUS_ERROR, STATUS_UNSUPPORTED)):
         line += f"\n    {r.detail}"
@@ -304,7 +335,9 @@ def render_report(report: BenchReport, *, verbose: bool = False) -> str:
     t = report.totals()
     lines.append(
         f"-- {t['programs']} runs: {t['safe']} safe, "
-        f"{t['counterexamples']} counterexamples, {t['timeouts']} timeouts; "
+        f"{t['counterexamples']} counterexamples "
+        f"({t['validated_counterexamples']} surface-validated), "
+        f"{t['timeouts']} timeouts; "
         f"{t['unexpected']} unexpected verdicts; "
         f"{t['states_explored']} states ({t['pruned_states']} pruned), "
         f"{t['solver_queries']} solver calls "

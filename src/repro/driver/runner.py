@@ -9,6 +9,12 @@ it is annotated for and the report cross-checks the verdicts — and fans
 the tasks out over a ``multiprocessing`` pool; each worker enforces a
 per-program wall-clock budget with ``SIGALRM`` so a pathological
 program degrades to a ``timeout`` row instead of wedging the run.
+
+Timeout rows are *partial results*, not blanks: the backends read every
+counter (states explored, chained micro-steps, proof/solver queries,
+cache hits) at result-assembly time, so a row cut short by the alarm
+still reports the work observed and the per-backend totals stay
+meaningful (pinned by ``tests/test_synth.py``'s timeout tests).
 """
 
 from __future__ import annotations

@@ -16,11 +16,14 @@ the rest is read off the heap structurally:
 
 Validation re-runs the *surface* program under ``conc.interp`` with the
 reconstructed bindings and demands blame at the same source label.  For
-module programs the erring context is the synthesised demonic client,
-which has no concrete counterpart to re-run — those counterexamples
-report ``validated=None`` (skipped), the honest boundary of this PR
-(concrete demonic-context reconstruction is future work, tracked in
-docs/ARCHITECTURE.md).
+module programs the erring context is the synthesised demonic client;
+``repro.synth`` reconstructs it from the same heap and model (the
+``UCase`` argument-pattern tables and havoc closures at the client
+location), and validation re-runs modules + synthesized client call,
+so module findings are concretely confirmed too — no more
+``validated=None`` for ordinary module counterexamples.  The closed
+program text is kept on the counterexample (``client``/
+``closed_program``) for the report and ``--emit-cex-client``.
 """
 
 from __future__ import annotations
@@ -159,11 +162,19 @@ def render_bindings(cex: "UCounterexample") -> dict[str, str]:
 @dataclass
 class UCounterexample:
     """Concrete bindings for every program unknown, plus the blame they
-    provoke."""
+    provoke — and, for module programs, the synthesized demonic client
+    that provokes it."""
 
     bindings: dict[str, UExpr]  # opaque label / import name -> surface expr
     blame: Blame
     validated: Optional[bool] = None  # None = surface re-run skipped
+    client: Optional["SynthesizedClient"] = None  # module programs only
+
+    def closed_program(self, program: Program) -> str:
+        """The counterexample as one closed, runnable surface program."""
+        from ..synth import closed_program_text
+
+        return closed_program_text(program, self.bindings, self.client)
 
     def __repr__(self) -> str:
         rows = ", ".join(f"•^{k} = {v!r}" for k, v in self.bindings.items())
@@ -343,8 +354,18 @@ def construct_u(
         else:
             bindings[label] = Quote(0)  # irrelevant to this error
     cex = UCounterexample(bindings, blame)
-    if validate and not program.modules:
-        cex.validated = check_u(program, cex, fuel=fuel)
+    if validate:
+        if program.modules:
+            # Imported lazily: repro.synth imports this module.
+            from ..synth import check_client, synthesize_client
+
+            cex.client = synthesize_client(program, state.heap, recon)
+            if cex.client is not None:
+                cex.validated = check_client(
+                    cex.client, blame, bindings, fuel=fuel
+                )
+        else:
+            cex.validated = check_u(program, cex, fuel=fuel)
     return cex
 
 

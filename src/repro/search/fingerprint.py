@@ -33,6 +33,13 @@ Refinement predicates may mention locations nothing else reaches; those
 serialize *inside* the refinement token (shapes stay refinement-blind)
 and are processed after the main traversal so shape-level canonical
 indices never depend on refinements.
+
+The exact-dedup rule for answers matters beyond pruning correctness:
+an answer heap's refinements (and its ``UCase`` argument-pattern
+tables) are precisely what counterexample construction *and* the
+demonic-client synthesis of :mod:`repro.synth` read back — pruning a
+stronger answer in favour of a weaker one would change which concrete
+witness (and which synthesized client) the tool reports.
 """
 
 from __future__ import annotations

@@ -22,6 +22,13 @@ counters can be snapshotted per program run (``snapshot``/``hits_since``)
 for reporting.  The cache deliberately solves the *canonical* formula
 rather than the original, so model choice is identical however a query
 is named — cached and uncached runs cannot drift apart.
+
+Model determinism is a correctness property downstream, not just a
+reporting nicety: ``get_model`` feeds counterexample construction and
+the client synthesis of :mod:`repro.synth`, so a cache that returned
+differently-named (or differently-chosen) models on hits would make
+reported witnesses — and the emitted client programs — depend on what
+else ran in the worker process.
 """
 
 from __future__ import annotations

@@ -1,0 +1,41 @@
+"""Executable counterexample synthesis.
+
+This package turns a symbolic finding into a *runnable artifact* — the
+paper's headline deliverable: blame witnesses are relatively complete
+counterexamples you can execute.  Two reconstruction directions live
+here:
+
+* :func:`~repro.synth.client.synthesize_client` — **demonic-context
+  reconstruction** for module programs: the blame-state heap records
+  everything the unknown client did (argument-pattern ``UCase`` tables
+  and havoc wrapper closures laid down at each ``(•ctx prov …)``
+  application step), and the SMT model pins every scalar it chose; the
+  synthesizer reads both off and emits a closed, surface-syntax client
+  lambda over the module's provides;
+* :func:`~repro.synth.client.closed_program_text` — the fully closed
+  program: modules with their opaque imports instantiated, plus the
+  client call (or, for top-level programs, the main expression with
+  every ``•`` substituted), rendered through :mod:`repro.lang.pretty`.
+
+Both backends' counterexample modules route through here, so every
+``counterexample`` report row can carry a program a human (or CI) can
+feed straight back to ``conc.interp``.
+"""
+
+from .client import (
+    CEX_CLIENT_LABEL,
+    SynthesizedClient,
+    check_client,
+    closed_program_text,
+    provide_names,
+    synthesize_client,
+)
+
+__all__ = [
+    "CEX_CLIENT_LABEL",
+    "SynthesizedClient",
+    "check_client",
+    "closed_program_text",
+    "provide_names",
+    "synthesize_client",
+]

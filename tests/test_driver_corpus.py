@@ -116,15 +116,17 @@ TOP_KEYS = {"schema", "config", "totals", "backends", "agreement", "programs"}
 PROGRAM_KEYS = {
     "name", "kind", "status", "wall_ms", "backend", "states_explored",
     "proof_queries", "solver_queries", "pruned_states", "solver_cache_hits",
-    "errors_found", "cex_attempts", "counterexample", "detail",
+    "chained_steps", "errors_found", "cex_attempts", "counterexample",
+    "detail",
 }
 CEX_KEYS = {
     "bindings", "err_label", "err_op", "validated_core", "validated_conc",
-    "err_detail",
+    "err_detail", "client",
 }
 TOTALS_KEYS = {
     "programs", "as_expected", "unexpected", "safe", "counterexamples",
-    "timeouts", "states_explored", "pruned_states", "solver_queries",
+    "validated_counterexamples", "timeouts", "states_explored",
+    "chained_steps", "pruned_states", "solver_queries",
     "solver_cache_hits", "wall_ms",
 }
 AGREEMENT_KEYS = {

@@ -44,6 +44,44 @@ class TestCompare:
         assert any(line.startswith("SKIP") for line in lines)
 
 
+class TestValidatedRatchet:
+    def test_drop_in_validated_counterexamples_fails(self):
+        lines = compare(
+            {"validated_counterexamples": 40},
+            {"validated_counterexamples": 39},
+            0.20,
+        )
+        assert any(
+            line.startswith("FAIL") and "validated" in line for line in lines
+        )
+
+    def test_equal_or_higher_passes(self):
+        for fresh in (40, 41):
+            lines = compare(
+                {"validated_counterexamples": 40},
+                {"validated_counterexamples": fresh},
+                0.20,
+            )
+            assert not any(line.startswith("FAIL") for line in lines)
+
+    def test_pre_v4_baseline_is_skipped(self):
+        # A baseline from an older schema has no validated count; the
+        # ratchet skips rather than failing the build on the upgrade.
+        lines = compare({}, {"validated_counterexamples": 40}, 0.20)
+        assert any(
+            line.startswith("SKIP") and "validated" in line for line in lines
+        )
+
+    def test_zero_baseline_still_ratchets(self):
+        # Unlike the relative gates, 0 is a usable ratchet floor.
+        lines = compare(
+            {"validated_counterexamples": 0},
+            {"validated_counterexamples": 0},
+            0.20,
+        )
+        assert not any(line.startswith("FAIL") for line in lines)
+
+
 class TestMain:
     def test_exit_codes(self, tmp_path):
         base = _report(tmp_path, "base.json", 100, 1000)
