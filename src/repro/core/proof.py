@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-from ..smt import Result, check_sat, mk_not
+from ..smt import PathContext, Result, check_sat, mk_not
 from .heap import (
     HConst,
     Heap,
@@ -36,7 +36,12 @@ from .heap import (
     SOpq,
 )
 from .syntax import Loc
-from .translate import loc_var, translate_heap, translate_pred
+from .translate import (
+    loc_var,
+    translate_heap,
+    translate_heap_parts,
+    translate_pred,
+)
 
 
 class Verdict(enum.Enum):
@@ -100,15 +105,32 @@ def _check_concrete(value: int, p: Pred, heap: Heap) -> Optional[bool]:
 class ProofSystem:
     """Decides ``Σ ⊢ L : P`` using syntactic fast paths and the solver.
 
-    A single instance caches nothing across heaps (heaps are immutable
-    values), but keeps solver configuration (translation mode) and counts
-    queries for the evaluation harness.
+    Heaps are immutable values, so no *judgement* is cached across
+    queries — but with ``incremental`` (the default) the instance owns a
+    per-path solver context (:class:`~repro.smt.PathContext`): the
+    heap's conjuncts stay asserted between queries, sibling paths fork
+    the context at their shared prefix, and the paired ``ψ`` / ``¬ψ``
+    checks run as assumptions on one context instead of two from-scratch
+    solves.  ``incremental=False`` restores the pre-incremental one-shot
+    behaviour (per-query ``check_sat``) for differential debugging.
     """
 
-    def __init__(self, *, mode: str = "implications") -> None:
+    def __init__(self, *, mode: str = "implications",
+                 incremental: bool = True) -> None:
         self.mode = mode
         self.queries = 0
         self.solver_queries = 0
+        self._ctx = PathContext() if incremental else None
+
+    def note_path(self, state) -> None:
+        """Search-kernel hook: a (possibly different) path's state was
+        popped for expansion; the solver scope forks lazily at the next
+        query."""
+        if self._ctx is not None:
+            self._ctx.note_switch()
+
+    def _translate_parts(self, heap: Heap):
+        return translate_heap_parts(heap, mode=self.mode)
 
     def check(self, heap: Heap, l: Loc, p: Pred) -> Verdict:
         self.queries += 1
@@ -130,8 +152,16 @@ class ProofSystem:
                 return Verdict.REFUTED
         # Solver path (Fig. 5).
         self.solver_queries += 1
-        phi = translate_heap(heap, mode=self.mode)
         psi = translate_pred(p, loc_var(l))
+        if self._ctx is not None:
+            parts = self._ctx.parts_for(heap, self._translate_parts)
+            # {Σ} ∧ ¬{L:P} unsat  ⇒  valid implication  ⇒  PROVED
+            if self._ctx.check_under(parts, mk_not(psi)) is Result.UNSAT:
+                return Verdict.PROVED
+            if self._ctx.check_under(parts, psi) is Result.UNSAT:
+                return Verdict.REFUTED
+            return Verdict.AMBIG
+        phi = translate_heap(heap, mode=self.mode)
         # {Σ} ∧ ¬{L:P} unsat  ⇒  valid implication  ⇒  PROVED
         neg = check_sat(phi, mk_not(psi))
         if neg is Result.UNSAT:

@@ -76,6 +76,7 @@ def explore(
         strategy=strategy,
         fingerprint=CoreFingerprinter() if memo else None,
         max_states=max_states,
+        enter=m.proof.note_path,  # per-path solver context follows the search
         stats=st,
     )
     for state in kernel.run(inject(program)):

@@ -66,6 +66,12 @@ def _add_budget_flags(p: argparse.ArgumentParser) -> None:
         help="disable state-fingerprint memoisation and the solver-query "
         "cache (the pre-kernel micro-step search; for A/B comparison)",
     )
+    p.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the per-path incremental solver contexts: every "
+        "proof query re-solves its path condition from scratch "
+        "(differential debugging; verdicts must be identical)",
+    )
 
 
 def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
@@ -77,6 +83,7 @@ def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
         jobs=jobs,
         strategy=args.strategy,
         memo=not args.no_memo,
+        incremental=not args.no_incremental,
     )
 
 

@@ -51,9 +51,10 @@ from ..lang.ast import Program
 from ..lang.ast import reset_labels as reset_surface_labels
 from ..lang.parser import ParseError, parse_program
 from ..lang.sexp import ReadError
-from ..smt import solver_cache
+from ..smt import SOLVE_STATS, solver_cache
 from ..scv import (
     SMachine,
+    UProofSystem,
     USearchStats,
     collect_struct_types,
     construct_u,
@@ -91,6 +92,7 @@ class RunConfig:
     jobs: int = 1  # worker processes
     strategy: str = "bfs"  # search kernel frontier discipline
     memo: bool = True  # fingerprint memoisation + solver-query cache
+    incremental: bool = True  # per-path incremental solver contexts
 
 
 class _Deadline(Exception):
@@ -127,7 +129,10 @@ def _reset_counters() -> None:
     # choices) reproducible regardless of worker assignment.  The solver
     # cache is cleared for the same reason: results are pure either way,
     # but the per-row `solver_cache_hits` counter must not depend on
-    # which programs happened to share a worker process.
+    # which programs happened to share a worker process.  `clear()`
+    # resets the hit/miss counters together with the table, so a reused
+    # pool worker cannot bleed one row's hits into the next row's stats
+    # whatever order snapshots are taken in.
     reset_surface_labels()
     reset_core_labels()
     reset_syn_labels()
@@ -170,6 +175,7 @@ class _ResultBuilder:
         self._prev_cache_enabled = solver_cache.enabled
         solver_cache.enabled = memo
         self._cache_snap = solver_cache.snapshot()
+        self._solve_snap = SOLVE_STATS.begin_window()
         self.t0 = time.perf_counter()
 
     def done(self, status: str, *, states: int, proof_queries: int,
@@ -189,6 +195,7 @@ class _ResultBuilder:
             pruned_states=pruned,
             solver_cache_hits=hits,
             chained_steps=chained,
+            **SOLVE_STATS.window(self._solve_snap),
             **kw,
         )
 
@@ -209,7 +216,7 @@ class TypedCoreBackend:
         cfg = config or RunConfig()
         _reset_counters()
         stats = SearchStats()
-        proof = ProofSystem(mode=cfg.mode)
+        proof = ProofSystem(mode=cfg.mode, incremental=cfg.incremental)
         rb = _ResultBuilder(self.name, name, kind, memo=cfg.memo)
 
         def done(status: str, **kw) -> ProgramResult:
@@ -234,6 +241,7 @@ class TypedCoreBackend:
 
         errors_found = 0
         attempts = 0
+        found = None  # the first validated counterexample, if any
         try:
             with _deadline(cfg.timeout_s):
                 machine = Machine(proof)
@@ -254,41 +262,62 @@ class TypedCoreBackend:
                     )
                     if cex is None or not cex.validated:
                         continue
-                    surface_bindings = {
-                        label: raise_expr(v) for label, v in cex.bindings.items()
-                    }
-                    conc_ok = _surface_revalidate(
-                        program, surface_bindings, cex.err.label, cfg.fuel
-                    )
-                    return done(
-                        STATUS_COUNTEREXAMPLE,
-                        errors_found=errors_found,
-                        cex_attempts=attempts,
-                        counterexample=CexReport(
-                            bindings=render_core_bindings(cex),
-                            err_label=cex.err.label,
-                            err_op=canonical_op(cex.err.op),
-                            validated_core=bool(cex.validated),
-                            validated_conc=conc_ok,
-                            err_detail=cex.err.op,
-                            client=closed_program_text(
-                                program, surface_bindings
-                            ),
-                        ),
-                    )
+                    found = cex
+                    break
         except _Deadline:
-            return done(
-                STATUS_TIMEOUT,
-                errors_found=errors_found,
-                cex_attempts=attempts,
-                detail=f"wall clock exceeded {cfg.timeout_s:g}s",
-            )
+            # The alarm can fire in the window between `found = cex` and
+            # the deadline context cancelling the timer; a validated
+            # counterexample in hand still gets its report assembled.
+            if found is None:
+                return done(
+                    STATUS_TIMEOUT,
+                    errors_found=errors_found,
+                    cex_attempts=attempts,
+                    detail=f"wall clock exceeded {cfg.timeout_s:g}s",
+                )
         except Exception as exc:  # driver bug or engine stuck-state
             return done(
                 STATUS_ERROR,
                 errors_found=errors_found,
                 detail=f"{type(exc).__name__}: {exc}",
             )
+
+        if found is not None:
+            # Success path: the deadline context has exited — the alarm
+            # is cancelled and the previous SIGALRM handler restored — so
+            # report assembly (surface re-validation, client synthesis,
+            # serialization) cannot be killed by a stale alarm.
+            cex = found
+            try:
+                surface_bindings = {
+                    label: raise_expr(v) for label, v in cex.bindings.items()
+                }
+                conc_ok = _surface_revalidate(
+                    program, surface_bindings, cex.err.label, cfg.fuel
+                )
+                return done(
+                    STATUS_COUNTEREXAMPLE,
+                    errors_found=errors_found,
+                    cex_attempts=attempts,
+                    counterexample=CexReport(
+                        bindings=render_core_bindings(cex),
+                        err_label=cex.err.label,
+                        err_op=canonical_op(cex.err.op),
+                        validated_core=bool(cex.validated),
+                        validated_conc=conc_ok,
+                        err_detail=cex.err.op,
+                        client=closed_program_text(
+                            program, surface_bindings
+                        ),
+                    ),
+                )
+            except Exception as exc:  # assembly bug: still a driver error
+                return done(
+                    STATUS_ERROR,
+                    errors_found=errors_found,
+                    cex_attempts=attempts,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
 
         if errors_found:
             return done(
@@ -359,9 +388,11 @@ class UntypedScvBackend:
         machine = SMachine(
             struct_types=collect_struct_types(program),
             assume_well_typed=not uses_contracts(program),
+            proof=UProofSystem(incremental=cfg.incremental),
         )
         errors_found = 0
         attempts = 0
+        found = None  # the first validated counterexample, if any
         try:
             with _deadline(cfg.timeout_s):
                 init = inject_program(program, machine)
@@ -378,32 +409,20 @@ class UntypedScvBackend:
                     )
                     if cex is None or cex.validated is False:
                         continue
-                    proof_queries = machine.proof.queries
-                    solver_queries = machine.proof.solver_queries
-                    blame = cex.blame
-                    return done(
-                        STATUS_COUNTEREXAMPLE,
-                        errors_found=errors_found,
-                        cex_attempts=attempts,
-                        counterexample=CexReport(
-                            bindings=render_scv_bindings(cex),
-                            err_label=blame.label,
-                            err_op=canonical_blame_op(blame),
-                            validated_core=None,  # scv has one oracle
-                            validated_conc=cex.validated,
-                            err_detail=f"{blame.party}: {blame.description}",
-                            client=cex.closed_program(program),
-                        ),
-                    )
+                    found = cex
+                    break
         except _Deadline:
-            proof_queries = machine.proof.queries
-            solver_queries = machine.proof.solver_queries
-            return done(
-                STATUS_TIMEOUT,
-                errors_found=errors_found,
-                cex_attempts=attempts,
-                detail=f"wall clock exceeded {cfg.timeout_s:g}s",
-            )
+            # As in the core backend: a counterexample validated just
+            # under the wire is reported, not discarded as a timeout.
+            if found is None:
+                proof_queries = machine.proof.queries
+                solver_queries = machine.proof.solver_queries
+                return done(
+                    STATUS_TIMEOUT,
+                    errors_found=errors_found,
+                    cex_attempts=attempts,
+                    detail=f"wall clock exceeded {cfg.timeout_s:g}s",
+                )
         except Exception as exc:  # driver bug or engine stuck-state
             proof_queries = machine.proof.queries
             solver_queries = machine.proof.solver_queries
@@ -415,6 +434,33 @@ class UntypedScvBackend:
 
         proof_queries = machine.proof.queries
         solver_queries = machine.proof.solver_queries
+        if found is not None:
+            # Alarm cancelled, previous handler restored (see the core
+            # backend): assembly runs outside the wall-clock budget.
+            cex = found
+            blame = cex.blame
+            try:
+                return done(
+                    STATUS_COUNTEREXAMPLE,
+                    errors_found=errors_found,
+                    cex_attempts=attempts,
+                    counterexample=CexReport(
+                        bindings=render_scv_bindings(cex),
+                        err_label=blame.label,
+                        err_op=canonical_blame_op(blame),
+                        validated_core=None,  # scv has one oracle
+                        validated_conc=cex.validated,
+                        err_detail=f"{blame.party}: {blame.description}",
+                        client=cex.closed_program(program),
+                    ),
+                )
+            except Exception as exc:  # assembly bug: still a driver error
+                return done(
+                    STATUS_ERROR,
+                    errors_found=errors_found,
+                    cex_attempts=attempts,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
         if errors_found:
             return done(
                 STATUS_NO_MODEL, errors_found=errors_found, cex_attempts=attempts,

@@ -14,6 +14,11 @@ either gated total:
   margin; states are the signal, wall is the tripwire for gross
   slowdowns (an accidentally quadratic fingerprint, a cache that stopped
   hitting).
+* ``solver_fresh_solves`` — from-scratch solver context builds (schema
+  v5).  The incremental-reuse ratchet: path contexts answering queries
+  on warm scopes keep this number low, and a regression here means the
+  contexts stopped being reused (thrashing trails, over-eager rebuilds,
+  or a proof system that silently fell back to one-shot solving).
 
 One total is gated in the *other* direction, with no tolerance:
 
@@ -39,6 +44,7 @@ import sys
 GATED = (
     ("states_explored", "states explored"),
     ("wall_ms", "wall time (ms)"),
+    ("solver_fresh_solves", "from-scratch solver solves"),
 )
 
 #: (key, pretty name) of ratchet totals: any decrease fails the gate.

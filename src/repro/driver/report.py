@@ -7,17 +7,28 @@ serialised as ``BENCH_driver.json``.  The JSON shape is versioned
 of the benchmark file are meaningful and the perf trajectory can be
 tracked across commits.
 
-Schema ``repro-bench/v4`` (the executable-counterexample revision;
-supersedes the search-kernel ``v3``):
+Schema ``repro-bench/v5`` (the incremental-solving revision; supersedes
+the executable-counterexample ``v4``):
 
 * every program row carries a ``backend`` field (``core`` or ``scv``);
 * rows and totals carry the search kernel's economy counters:
   ``pruned_states`` (frontier states dropped by fingerprint
   memoisation/subsumption), ``solver_cache_hits`` (queries answered by
-  the canonicalized solver-result cache), and — new in v4 —
-  ``chained_steps`` (deterministic micro-steps folded into macro
-  states), so partial work stays visible even on rows whose budget
-  expired inside a compressed chain;
+  the canonicalized solver-result cache), and ``chained_steps``
+  (deterministic micro-steps folded into macro states), so partial work
+  stays visible even on rows whose budget expired inside a compressed
+  chain;
+* new in v5 — the incremental-solving economy counters from the
+  per-path solver contexts (``smt.incremental``):
+  ``solver_fresh_solves`` (from-scratch solver context builds — cache
+  misses on the one-shot path plus path-context rebuilds),
+  ``solver_incremental`` (checks answered on a warm context, reusing
+  its scopes and lemmas), ``solver_clauses_reused`` (lemma and learned
+  clauses already present when those checks started, summed), and
+  ``solver_scope_depth`` (the deepest assertion-scope stack seen; totals
+  take the max, not the sum).  ``--no-incremental`` zeroes the
+  incremental counters and reverts every solver query to a from-scratch
+  solve, for differential debugging;
 * counterexample rows carry ``client``: the closed, runnable surface
   program synthesized by ``repro.synth`` (modules with opaque imports
   instantiated plus the demonic-client call, or the instantiated main
@@ -45,7 +56,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-SCHEMA = "repro-bench/v4"
+SCHEMA = "repro-bench/v5"
 
 # Terminal statuses a verification attempt can end in.
 STATUS_SAFE = "safe"  # search exhausted, no (modelable) error
@@ -58,6 +69,19 @@ STATUS_ERROR = "error"  # driver-level failure (bug!)
 
 #: Statuses that constitute a definite verdict for cross-checking.
 _CONCLUSIVE = (STATUS_SAFE, STATUS_COUNTEREXAMPLE)
+
+#: Row fields that legitimately differ between otherwise-identical runs
+#: (timing, and the solver-economy counters toggled by --no-incremental
+#: / --no-memo).  The single source of truth for every differential
+#: comparison — the equivalence tests and the CI leg both read it.
+VOLATILE_ROW_FIELDS = frozenset({
+    "wall_ms",
+    "solver_cache_hits",
+    "solver_fresh_solves",
+    "solver_incremental",
+    "solver_clauses_reused",
+    "solver_scope_depth",
+})
 
 
 @dataclass
@@ -102,6 +126,10 @@ class ProgramResult:
     pruned_states: int = 0  # dropped by fingerprint memoisation
     solver_cache_hits: int = 0  # queries answered from the result cache
     chained_steps: int = 0  # micro-steps folded into macro states
+    solver_fresh_solves: int = 0  # from-scratch solver context builds
+    solver_incremental: int = 0  # checks answered on a warm context
+    solver_clauses_reused: int = 0  # lemma/learned clauses carried into checks
+    solver_scope_depth: int = 0  # deepest assertion-scope stack seen
     errors_found: int = 0
     cex_attempts: int = 0
     counterexample: Optional[CexReport] = None
@@ -145,6 +173,12 @@ def _totals(results: list[ProgramResult]) -> dict:
         "pruned_states": sum(r.pruned_states for r in results),
         "solver_queries": sum(r.solver_queries for r in results),
         "solver_cache_hits": sum(r.solver_cache_hits for r in results),
+        "solver_fresh_solves": sum(r.solver_fresh_solves for r in results),
+        "solver_incremental": sum(r.solver_incremental for r in results),
+        "solver_clauses_reused": sum(r.solver_clauses_reused for r in results),
+        "solver_scope_depth": max(
+            (r.solver_scope_depth for r in results), default=0
+        ),
         "wall_ms": round(sum(r.wall_ms for r in results), 1),
     }
 
@@ -341,7 +375,9 @@ def render_report(report: BenchReport, *, verbose: bool = False) -> str:
         f"{t['unexpected']} unexpected verdicts; "
         f"{t['states_explored']} states ({t['pruned_states']} pruned), "
         f"{t['solver_queries']} solver calls "
-        f"({t['solver_cache_hits']} cache hits), "
+        f"({t['solver_cache_hits']} cache hits, "
+        f"{t['solver_fresh_solves']} fresh / "
+        f"{t['solver_incremental']} incremental solves), "
         f"{t['wall_ms']:.0f} ms total"
     )
     agreement = report.agreement()

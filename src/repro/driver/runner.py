@@ -15,6 +15,13 @@ counter (states explored, chained micro-steps, proof/solver queries,
 cache hits) at result-assembly time, so a row cut short by the alarm
 still reports the work observed and the per-backend totals stay
 meaningful (pinned by ``tests/test_synth.py``'s timeout tests).
+
+The alarm guards *verification only*: on the success path the backends
+exit the deadline context — cancelling the SIGALRM and restoring the
+previous handler — before result assembly (surface re-validation,
+client synthesis, serialization), so a fast verification followed by
+slow report assembly cannot be killed by a stale alarm (pinned by
+``tests/test_driver_incremental.py``).
 """
 
 from __future__ import annotations

@@ -219,6 +219,7 @@ def explore_u(
         strategy=strategy,
         fingerprint=ScvFingerprinter() if memo else None,
         max_states=max_states,
+        enter=machine.proof.note_path,  # per-path solver context hook
         stats=st,
     )
     for state in kernel.run(init):

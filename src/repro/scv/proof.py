@@ -44,7 +44,16 @@ from ..core.heap import (
 from ..core.proof import Verdict
 from ..core.syntax import Loc
 from ..lang.values import racket_equal
-from ..smt import Formula, Result, check_sat, mk_and, mk_eq, mk_implies, mk_not
+from ..smt import (
+    Formula,
+    PathContext,
+    Result,
+    check_sat,
+    mk_and,
+    mk_eq,
+    mk_implies,
+    mk_not,
+)
 from ..core.translate import loc_var, translate_pred
 from .heap import (
     PEqDatum,
@@ -57,7 +66,7 @@ from .heap import (
     UStoreable,
 )
 
-__all__ = ["Verdict", "UProofSystem", "translate_uheap"]
+__all__ = ["Verdict", "UProofSystem", "translate_uheap", "translate_uheap_parts"]
 
 
 def _is_exact_int(v: object) -> bool:
@@ -158,6 +167,13 @@ def translate_uheap(heap: UHeap) -> Formula:
     only ever *weakens* the formula — spurious models are then caught by
     concrete validation, never the other way round).
     """
+    return mk_and(*translate_uheap_parts(heap))
+
+
+def translate_uheap_parts(heap: UHeap) -> tuple[Formula, ...]:
+    """``{{Σ}}`` as its conjunct sequence in heap order — the trail the
+    per-path incremental contexts (``smt.incremental``) diff between
+    queries (see ``core.translate.translate_heap_parts``)."""
     parts: list[Formula] = []
     for l, s in heap.items():
         if isinstance(s, UConc):
@@ -193,7 +209,7 @@ def translate_uheap(heap: UHeap) -> Formula:
                         mk_implies(keys_eq, mk_eq(loc_var(v1), loc_var(v2)))
                     )
         # Pairs, procedures, structs, boxes, contracts: no integer fact.
-    return mk_and(*parts)
+    return tuple(parts)
 
 
 def _int_sorted(s: UStoreable) -> bool:
@@ -217,13 +233,24 @@ def _int_sorted_at(heap: UHeap, l: Loc) -> bool:
 class UProofSystem:
     """Decides tag- and integer-level judgements over untyped heaps.
 
-    Like the typed ``ProofSystem`` it is configuration plus counters;
-    heaps are immutable values so nothing is cached across queries.
+    Like the typed ``ProofSystem`` it is configuration plus counters —
+    no *judgement* is cached across queries — but with ``incremental``
+    (the default) it carries a per-path solver context
+    (:class:`~repro.smt.PathContext`) whose assertion trail follows the
+    heap along the explored path and forks at branch points; the paired
+    ``ψ`` / ``¬ψ`` checks share it as assumption queries.
+    ``incremental=False`` restores per-query one-shot solving.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, incremental: bool = True) -> None:
         self.queries = 0
         self.solver_queries = 0
+        self._ctx = PathContext() if incremental else None
+
+    def note_path(self, state) -> None:
+        """Search-kernel hook — see ``core.proof.ProofSystem.note_path``."""
+        if self._ctx is not None:
+            self._ctx.note_switch()
 
     # -- tag lattice ----------------------------------------------------
 
@@ -290,8 +317,15 @@ class UProofSystem:
             return Verdict.AMBIG
         # Solver path (Fig. 5).
         self.solver_queries += 1
-        phi = translate_uheap(heap)
         psi = translate_pred(_as_core_pred(p), loc_var(target))
+        if self._ctx is not None:
+            parts = self._ctx.parts_for(heap, translate_uheap_parts)
+            if self._ctx.check_under(parts, mk_not(psi)) is Result.UNSAT:
+                return Verdict.PROVED
+            if self._ctx.check_under(parts, psi) is Result.UNSAT:
+                return Verdict.REFUTED
+            return Verdict.AMBIG
+        phi = translate_uheap(heap)
         if check_sat(phi, mk_not(psi)) is Result.UNSAT:
             return Verdict.PROVED
         if check_sat(phi, psi) is Result.UNSAT:

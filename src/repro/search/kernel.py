@@ -105,6 +105,14 @@ class SearchKernel:
       pre-kernel behaviour);
     * ``subsume`` — also prune refinement-subsumed states (ignored
       without a fingerprinter);
+    * ``enter`` — optional callback invoked with every state the kernel
+      pops for expansion, before it is stepped.  This is how a path-
+      aware layer below the step function — the proof systems' per-path
+      incremental solver contexts (``smt.incremental``) — observes the
+      search jumping between paths: the callback marks the context's
+      path-local memo stale, and the solver scope forks to the new
+      path's assertion trail at the next query.  The kernel itself
+      carries no solver state; it only announces path switches;
     * ``stats`` — mutated in place so callers that abandon the iterator
       mid-run (the driver stops at the first validated counterexample)
       still observe exact counts.
@@ -120,6 +128,7 @@ class SearchKernel:
         compress: Optional[bool] = None,
         chain_limit: int = 128,
         max_states: int = 50_000,
+        enter: Optional[Callable] = None,
         stats=None,
     ) -> None:
         if strategy not in STRATEGIES:
@@ -137,6 +146,7 @@ class SearchKernel:
             else (compress and fingerprint is not None)
         self.chain_limit = chain_limit
         self.max_states = max_states
+        self.enter = enter
         self.stats = stats if stats is not None else KernelStats()
         self._seen: set[Fingerprint] = set()
         self._by_shape: dict[Hashable, list[Fingerprint]] = {}
@@ -195,6 +205,8 @@ class SearchKernel:
                     return
                 negdepth, _, state = heapq.heappop(heap)
                 st.states_explored += 1
+                if self.enter is not None:
+                    self.enter(state)
                 state, succs = self._expand(state)
                 if succs is None:
                     st.answers += 1
@@ -216,6 +228,8 @@ class SearchKernel:
                 return
             state = pop()
             st.states_explored += 1
+            if self.enter is not None:
+                self.enter(state)
             state, succs = self._expand(state)
             if succs is None:
                 st.answers += 1

@@ -141,14 +141,31 @@ _CachedModel = tuple[
 
 
 class SolverCache:
-    """LRU table: canonical formula -> (Result, canonical model or None)."""
+    """LRU table: canonical formula -> (Result, canonical model or None,
+    model_known).
+
+    Two populations share the table.  One-shot queries store *full*
+    entries: the canonical formula was solved and, when SAT, its model
+    kept (``model_known=True``).  The incremental path (``smt.
+    incremental``) answers checks on a per-path solver context whose
+    model choice depends on context history, so it stores *result-only*
+    entries (``model_known=False``): the verdict is reusable, the model
+    deliberately is not.  A later ``get_model`` on such an entry misses
+    (``need_model=True``), solves the canonical formula and upgrades the
+    entry — so reported models remain a deterministic function of the
+    canonical formula regardless of which path asked first.  This is how
+    the canonicalizing cache and incremental contexts compose instead of
+    fighting.
+    """
 
     def __init__(self, maxsize: int = 4096) -> None:
         self.maxsize = maxsize
         self.enabled = True
         self.hits = 0
         self.misses = 0
-        self._table: OrderedDict[Formula, tuple[Result, Optional[_CachedModel]]]
+        self._table: OrderedDict[
+            Formula, tuple[Result, Optional[_CachedModel], bool]
+        ]
         self._table = OrderedDict()
 
     # -- bookkeeping -----------------------------------------------------
@@ -160,16 +177,28 @@ class SolverCache:
         return self.hits - snap[0]
 
     def clear(self) -> None:
+        """Drop the table AND zero the hit/miss counters, atomically from
+        the caller's point of view: a batch worker that clears between
+        programs cannot bleed one row's counter into the next, whatever
+        snapshots are taken relative to the clear."""
         self._table.clear()
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._table)
 
     # -- access ----------------------------------------------------------
 
-    def get(self, key: Formula) -> Optional[tuple[Result, Optional[_CachedModel]]]:
+    def get(
+        self, key: Formula, *, need_model: bool = False
+    ) -> Optional[tuple[Result, Optional[_CachedModel], bool]]:
+        """Look up an entry; with ``need_model`` a result-only SAT entry
+        counts as a miss (the caller will solve and upgrade it)."""
         entry = self._table.get(key)
-        if entry is None:
+        if entry is None or (
+            need_model and entry[0] is Result.SAT and not entry[2]
+        ):
             self.misses += 1
             return None
         self.hits += 1
@@ -177,9 +206,25 @@ class SolverCache:
         return entry
 
     def put(
-        self, key: Formula, result: Result, model: Optional[_CachedModel]
+        self,
+        key: Formula,
+        result: Result,
+        model: Optional[_CachedModel] = None,
+        *,
+        model_known: bool = True,
     ) -> None:
-        self._table[key] = (result, model)
+        old = self._table.get(key)
+        if old is not None:
+            if result is Result.UNKNOWN and old[0] is not Result.UNKNOWN:
+                # Never downgrade a decisive verdict to UNKNOWN (a cold
+                # re-solve for a model can give up where the warm context
+                # that stored the entry did not); cached verdicts must
+                # not flip mid-run.
+                return
+            if old[2] and not model_known:
+                # Never downgrade a full entry to result-only.
+                model, model_known = old[1], True
+        self._table[key] = (result, model, model_known)
         self._table.move_to_end(key)
         while len(self._table) > self.maxsize:
             self._table.popitem(last=False)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional, Sequence
@@ -104,6 +105,13 @@ class LiaSolver:
         Maximum number of assignments tried for nonlinear variables.
     enum_range:
         Half-width of the base enumeration window for nonlinear variables.
+    memo_size:
+        LRU bound on the conjunction-solve memo.  Incremental checking
+        re-asks the conjunction solver near-identical literal sets (the
+        paired ``ψ`` / ``¬ψ`` proof queries, DPLL(T) re-rounds after a
+        restart); keying on the constraint *set* makes exact repeats
+        free, and all budgets are deterministic so a memoized answer is
+        identical to a recomputed one.
     """
 
     def __init__(
@@ -111,22 +119,39 @@ class LiaSolver:
         branch_budget: int = 2000,
         enum_budget: int = 20000,
         enum_range: int = 12,
+        memo_size: int = 2048,
     ) -> None:
         self.branch_budget = branch_budget
         self.enum_budget = enum_budget
         self.enum_range = enum_range
+        self.memo_size = memo_size
+        self._memo: OrderedDict[frozenset[Constraint], LiaResult] = OrderedDict()
 
     # -- public entry --------------------------------------------------
 
     def solve(self, constraints: Sequence[Constraint]) -> LiaResult:
-        """Decide a conjunction; model covers every atom mentioned."""
+        """Decide a conjunction; model covers every atom mentioned.
+
+        Results are memoized by constraint set; callers must not mutate
+        a returned model."""
+        key = frozenset(constraints)
+        hit = self._memo.get(key)
+        if hit is not None:
+            self._memo.move_to_end(key)
+            return hit
         try:
             model = self._solve_nonlinear(list(constraints))
         except BudgetExhausted:
-            return LiaResult(Result.UNKNOWN)
-        if model is None:
-            return LiaResult(Result.UNSAT)
-        return LiaResult(Result.SAT, model)
+            result = LiaResult(Result.UNKNOWN)
+        else:
+            if model is None:
+                result = LiaResult(Result.UNSAT)
+            else:
+                result = LiaResult(Result.SAT, model)
+        self._memo[key] = result
+        while len(self._memo) > self.memo_size:
+            self._memo.popitem(last=False)
+        return result
 
     # -- nonlinear layer -------------------------------------------------
 

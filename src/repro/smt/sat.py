@@ -7,7 +7,19 @@ A conflict-driven clause-learning solver with the standard modern kernel:
 * VSIDS-style exponential variable activities,
 * Luby-sequence restarts with phase saving,
 * incremental solving under assumptions (used by the DPLL(T) loop to add
-  theory lemmas between calls).
+  theory lemmas between calls, and by the scoped :class:`~repro.smt.solver.
+  Solver` to activate assertion levels through selector literals).
+
+Assumptions are decided first, each at its own decision level, before any
+free decision — the MiniSat discipline.  A ``solve(assumptions)`` call
+that returns False therefore means *unsat under these assumptions*; the
+solver state (clauses, learned clauses, phase saving, activities) stays
+intact and the next call may assume a different set.  Learned clauses
+are always implied by the clause database alone — assumption literals
+enter conflict analysis as decisions and end up negated *inside* the
+learned clause — so clauses learned under one assumption set remain
+sound under every other, which is what makes scope-popping by
+selector-retirement (see ``smt.solver``) keep its lemmas for free.
 
 Literals are nonzero ints (+v / -v), variables are 1-based; clause
 storage is plain Python lists, which is plenty for the formula sizes the
@@ -17,7 +29,7 @@ paper's heap translation produces (tens to hundreds of atoms).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 Lit = int
 
@@ -67,6 +79,7 @@ class SatSolver:
         self.saved_phase: dict[int, bool] = {}
         self.ok = True  # False once an empty clause is added
         self.conflicts = 0
+        self.learned_count = 0  # non-unit learned clauses currently stored
 
     # -- construction ------------------------------------------------------
 
@@ -256,6 +269,30 @@ class SatSolver:
             out.append(l)
         return out
 
+    def reset_trail(self) -> None:
+        """Backtrack to decision level 0 (e.g. before ``add_clause`` on a
+        solver that has already run a check).  Level-0 propagations —
+        learned units included — survive."""
+        self._backtrack(0)
+
+    def reset_heuristics(self) -> None:
+        """Zero the VSIDS activities and drop saved phases.
+
+        A long-lived solver answering a *sequence* of scoped queries
+        calls this between queries: phases and activities saved from the
+        previous query steer the search toward its last model, which for
+        a different assumption set tends to walk a longer chain of
+        theory-blocked assignments than a cold start — and makes the
+        boolean enumeration order (hence DPLL(T) round counts and
+        UNKNOWN edge cases) drift from a from-scratch solver's.  Clauses
+        and learned lemmas are the context's value; the heuristic state
+        is not, so it is reset to keep warm checks behaving like cold
+        ones, just with more lemmas."""
+        self.saved_phase.clear()
+        for v in self.activity:
+            self.activity[v] = 0.0
+        self.var_inc = 1.0
+
     def _backtrack(self, level: int) -> None:
         if len(self.trail_lim) <= level:
             return
@@ -286,14 +323,23 @@ class SatSolver:
 
     # -- main loop ---------------------------------------------------------
 
-    def solve(self, *, conflict_budget: int | None = None) -> Optional[bool]:
-        """Run the CDCL loop.
+    def solve(
+        self,
+        assumptions: Sequence[Lit] = (),
+        *,
+        conflict_budget: int | None = None,
+    ) -> Optional[bool]:
+        """Run the CDCL loop, optionally under assumption literals.
 
-        Returns True (SAT), False (UNSAT) or None if ``conflict_budget``
-        was exhausted.
+        Returns True (SAT), False (UNSAT — globally if ``assumptions`` is
+        empty, otherwise possibly only under the assumptions) or None if
+        ``conflict_budget`` was exhausted.  A False under assumptions
+        leaves the solver reusable: only ``self.ok`` going False marks
+        the clause database itself contradictory.
         """
         if not self.ok:
             return False
+        self._backtrack(0)  # discard stale decisions from a previous call
         restart_count = 1
         restart_limit = 32 * _luby(restart_count)
         conflicts_here = 0
@@ -316,6 +362,7 @@ class SatSolver:
                 else:
                     ref = _ClauseRef(learned, learned=True)
                     self.clauses.append(ref)
+                    self.learned_count += 1
                     self._watch(ref)
                     self._enqueue(learned[0], ref)
                 self.var_inc /= self.var_decay
@@ -325,9 +372,20 @@ class SatSolver:
                     restart_limit = 32 * _luby(restart_count)
                     self._backtrack(0)
                 continue
-            lit = self._decide()
+            lit = None
+            for a in assumptions:
+                val = self._value(a)
+                if val is False:
+                    # An assumption is falsified by the database (plus the
+                    # assumptions already decided): unsat under assumptions.
+                    return False
+                if val is None:
+                    lit = a
+                    break
             if lit is None:
-                return True  # full assignment, no conflict
+                lit = self._decide()
+                if lit is None:
+                    return True  # full assignment, no conflict
             self.trail_lim.append(len(self.trail))
             self._enqueue(lit, None)
 

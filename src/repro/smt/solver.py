@@ -4,7 +4,12 @@ conjunction solver.
 This module is the reproduction's stand-in for Z3 (see DESIGN.md).  The
 public surface mimics the slice of the z3py API the paper's tool needs:
 
-* :class:`Solver` with ``add``, ``push``/``pop``, ``check`` and ``model``;
+* :class:`Solver` with ``add``, ``push``/``pop``, ``check`` and ``model``
+  — *really* incremental since schema v5: scopes are selector-guarded
+  assertion levels over one persistent CDCL core, ``check(*extra)``
+  treats the extras as transient assumptions, learned lemmas survive
+  ``pop`` (see the class docstring), and ``SOLVE_STATS`` meters the
+  reuse economy;
 * :class:`Model` mapping variables to integers and uninterpreted functions
   to finite tables;
 * module-level helpers :func:`check_sat`, :func:`is_valid`.
@@ -71,6 +76,8 @@ from .terms import (
 __all__ = [
     "Solver",
     "Model",
+    "SolveStats",
+    "SOLVE_STATS",
     "check_sat",
     "is_valid",
     "get_model",
@@ -122,18 +129,51 @@ class Model:
 
 
 class _Preprocessed:
-    """Result of term-level preprocessing: a formula free of Div/Mod/App
-    plus bookkeeping to reconstruct models."""
+    """Persistent term-level preprocessing state: rewrites formulas free
+    of Div/Mod/App plus bookkeeping to reconstruct models.
+
+    Incremental use adds a *journal*: every cache entry (fresh
+    quotient/remainder pair, Ackermann application variable) records its
+    creation, and ``undo_to`` retires entries created after a mark.  This
+    is the scope discipline that keeps popped auxiliary variables from
+    leaking into later scopes: a Div/App term re-encountered after its
+    scope was popped gets *fresh* auxiliaries with freshly re-emitted
+    axioms/consistency clauses, instead of silently reusing a variable
+    whose defining clauses are retired.
+    """
 
     def __init__(self) -> None:
         self.defs: list[Formula] = []
         self.div_cache: dict[Term, Var] = {}
         self.app_cache: dict[App, Var] = {}
         self.apps_by_func: dict[FuncDecl, list[tuple[App, Var]]] = {}
+        self.journal: list[tuple] = []  # ("div", div_key, mod_key) | ("app", key)
         self._fresh = itertools.count()
 
     def fresh(self, prefix: str) -> Var:
         return Var(f".{prefix}{next(self._fresh)}")
+
+    # -- scope discipline --------------------------------------------------
+
+    def mark(self) -> int:
+        return len(self.journal)
+
+    def undo_to(self, mark: int) -> None:
+        """Retire every cache entry created after ``mark`` (LIFO)."""
+        while len(self.journal) > mark:
+            entry = self.journal.pop()
+            if entry[0] == "div":
+                _, div_key, mod_key = entry
+                self.div_cache.pop(div_key, None)
+                self.div_cache.pop(mod_key, None)
+            else:
+                key = entry[1]
+                self.app_cache.pop(key, None)
+                apps = self.apps_by_func.get(key.func)
+                if apps:
+                    apps.pop()  # chronological list: the retired entry is last
+                    if not apps:
+                        del self.apps_by_func[key.func]
 
     # -- term rewriting --------------------------------------------------
 
@@ -159,8 +199,10 @@ class _Preprocessed:
             den = self.rewrite_term(t.den)
             q = self.fresh("q")
             r = self.fresh("r")
+            key_mod = Mod(t.num, t.den)
             self.div_cache[key_div] = q
-            self.div_cache[Mod(t.num, t.den)] = r
+            self.div_cache[key_mod] = r
+            self.journal.append(("div", key_div, key_mod))
             # num = den*q + r, 0 <= r < |den|  (Euclidean).  den = 0 makes
             # both guarded disjuncts false, i.e. the axiom is unsat.
             self.defs.append(mk_eq(num, Add((mk_mul(den, q), r))))
@@ -183,6 +225,7 @@ class _Preprocessed:
         args = tuple(self.rewrite_term(a) for a in t.args)
         v = self.fresh(f"f.{t.func.name}.")
         self.app_cache[t] = v
+        self.journal.append(("app", t))
         rewritten = App(t.func, args)
         # Functional consistency with every previous application of func.
         for prev_app, prev_v in self.apps_by_func.get(t.func, []):
@@ -242,6 +285,60 @@ def _atom_constraints(atom: Formula, positive: bool) -> Constraint:
     raise SolverError(f"not a theory atom: {atom!r}")
 
 
+@dataclass
+class SolveStats:
+    """Process-wide incremental-solving economy counters.
+
+    ``fresh_solves`` counts the *first* check of each :class:`Solver`
+    instance — a from-scratch context build (one-shot cached queries,
+    path-context rebuilds).  Every later check on the same instance is an
+    ``incremental_queries`` tick: it reuses the asserted scopes, the
+    preprocessor caches, the atom map and every retained lemma.
+    ``clauses_reused`` sums, over incremental checks, the lemma and
+    CDCL-learned clauses already present when the check started.  Like
+    the solver cache, the counters are monotone; ``begin_window`` /
+    ``window`` meter one verification (verifications never interleave
+    within a worker process).
+    """
+
+    fresh_solves: int = 0
+    incremental_queries: int = 0
+    clauses_reused: int = 0
+    scope_pushes: int = 0
+    scope_pops: int = 0
+    context_rebuilds: int = 0  # path contexts discarded and rebuilt
+    path_switches: int = 0  # search-kernel notifications (see search.kernel)
+    window_max_depth: int = 0  # deepest scope stack since begin_window
+
+    def begin_window(self) -> tuple[int, int, int]:
+        self.window_max_depth = 0
+        return (self.fresh_solves, self.incremental_queries, self.clauses_reused)
+
+    def window(self, snap: tuple[int, int, int]) -> dict:
+        return {
+            "solver_fresh_solves": self.fresh_solves - snap[0],
+            "solver_incremental": self.incremental_queries - snap[1],
+            "solver_clauses_reused": self.clauses_reused - snap[2],
+            "solver_scope_depth": self.window_max_depth,
+        }
+
+
+#: The process-wide incremental-solving counters (reported per bench row).
+SOLVE_STATS = SolveStats()
+
+
+@dataclass
+class _Scope:
+    """One assertion level: its activation selector (None for the base
+    level), the formulas asserted into it, and what they mention."""
+
+    selector: Optional[int]
+    pre_mark: int = 0
+    formulas: list[Formula] = field(default_factory=list)
+    free_vars: set[Var] = field(default_factory=set)
+    theory_vars: set[int] = field(default_factory=set)
+
+
 class Solver:
     """Incremental first-order solver with a z3py-like surface.
 
@@ -253,6 +350,22 @@ class Solver:
         assert s.check() is Result.SAT
         m = s.model()
         assert m[x] + m[y] == 10 and m[x] < m[y]
+
+    Incrementality is real, not replay: the CDCL core, the atom map and
+    the preprocessing caches persist across ``check`` calls.  Each
+    ``push`` opens a scope guarded by a fresh *selector* literal; the
+    scope's clauses carry ``¬selector`` and a check assumes every live
+    selector (plus a per-check selector for ``extra`` formulas, which is
+    how the paired ``φ ⊢ ψ`` / ``φ ⊢ ¬ψ`` proof queries share one
+    context).  ``pop`` retires the selector with a permanent unit clause
+    instead of deleting clauses, so CDCL lemmas over surviving atoms are
+    kept — a learned clause that depended on the popped scope contains
+    its negated selector and is satisfied, hence harmless.  Theory
+    lemmas (LIA unsat cores) are unconditionally valid and persist
+    unguarded.  Preprocessing state is journaled per scope (see
+    :class:`_Preprocessed`): popped quotient/remainder and Ackermann
+    auxiliaries are retired so they cannot leak constraints into later
+    scopes.
     """
 
     def __init__(
@@ -261,74 +374,177 @@ class Solver:
         max_theory_rounds: int = 4000,
         lia: Optional[LiaSolver] = None,
     ) -> None:
-        self._stack: list[list[Formula]] = [[]]
+        self._scopes: list[_Scope] = [_Scope(selector=None)]
         self._model: Optional[Model] = None
         self._max_rounds = max_theory_rounds
         self._lia = lia or LiaSolver()
+        self._atoms = AtomMap()
+        self._sat = SatSolver()
+        self._pre = _Preprocessed()
+        self._defs_done = 0  # prefix of _pre.defs already asserted
+        self._constraint_memo: dict[tuple[Formula, bool], Constraint] = {}
+        self._lemmas = 0  # permanent theory lemmas added so far
+        self._checks = 0
+        #: Retired selectors (pops + per-check assumption selectors): the
+        #: dead weight a long-lived context accumulates; path contexts
+        #: rebuild when it crosses their threshold.
+        self.retired = 0
 
     # -- assertion management ----------------------------------------------
 
     def add(self, *formulas: Formula) -> None:
-        self._stack[-1].extend(formulas)
         self._model = None
+        scope = self._scopes[-1]
+        self._sat.reset_trail()
+        for f in formulas:
+            scope.formulas.append(f)
+            self._assert_formula(f, scope)
 
     def push(self) -> None:
-        self._stack.append([])
+        sel = self._atoms.fresh_var()
+        self._sat.ensure_vars(sel)
+        self._scopes.append(_Scope(selector=sel, pre_mark=self._pre.mark()))
+        SOLVE_STATS.scope_pushes += 1
+        depth = len(self._scopes) - 1
+        if depth > SOLVE_STATS.window_max_depth:
+            SOLVE_STATS.window_max_depth = depth
 
     def pop(self) -> None:
-        if len(self._stack) == 1:
+        if len(self._scopes) == 1:
             raise SolverError("pop without matching push")
-        self._stack.pop()
+        scope = self._scopes.pop()
         self._model = None
+        self._sat.reset_trail()
+        self._sat.add_clause([-scope.selector])  # retire the scope for good
+        self._pre.undo_to(scope.pre_mark)
+        self.retired += 1
+        SOLVE_STATS.scope_pops += 1
 
     def assertions(self) -> list[Formula]:
-        return [f for frame in self._stack for f in frame]
+        return [f for scope in self._scopes for f in scope.formulas]
+
+    def scope_depth(self) -> int:
+        return len(self._scopes) - 1
+
+    # -- assertion translation ---------------------------------------------
+
+    def _assert_formula(self, f: Formula, scope: _Scope) -> None:
+        """Simplify, preprocess, CNF and load one formula into the CDCL
+        core, guarded by the scope's selector."""
+        g = simplify(f)
+        if g == TRUE:
+            return
+        g = self._pre.rewrite(g)
+        new_defs = self._pre.defs[self._defs_done:]
+        self._defs_done = len(self._pre.defs)
+        for h in (g, *new_defs):
+            h = simplify(h)
+            if h == TRUE:
+                continue
+            nnf = to_nnf(h)
+            scope.free_vars |= free_vars(nnf)
+            clauses = to_cnf(nnf, self._atoms)
+            self._collect_theory_vars(nnf, scope.theory_vars)
+            self._sat.ensure_vars(self._atoms.num_vars)
+            for cl in clauses:
+                if scope.selector is not None:
+                    cl = cl + [-scope.selector]
+                self._sat.add_clause(cl)
+
+    def _collect_theory_vars(self, nnf: Formula, out: set[int]) -> None:
+        if isinstance(nnf, (Eq, Le, Lt)):
+            out.add(self._atoms.var_for(nnf))
+        elif isinstance(nnf, Not):
+            self._collect_theory_vars(nnf.arg, out)
+        else:
+            from .terms import And, Or
+
+            if isinstance(nnf, (And, Or)):
+                for a in nnf.args:
+                    self._collect_theory_vars(a, out)
+
+    def _constraint(self, atom: Formula, positive: bool) -> Constraint:
+        """Atom-to-LIA translation, memoized per solver: across checks
+        only the *delta* — atoms never seen before — is re-normalized."""
+        key = (atom, positive)
+        c = self._constraint_memo.get(key)
+        if c is None:
+            c = _atom_constraints(atom, positive)
+            self._constraint_memo[key] = c
+        return c
 
     # -- solving -----------------------------------------------------------
 
     def check(self, *extra: Formula) -> Result:
-        """Decide the conjunction of all assertions (plus ``extra``)."""
+        """Decide the conjunction of all assertions (plus ``extra``).
+
+        ``extra`` formulas are transient assumptions: they are asserted
+        under a per-check selector that is retired afterwards, so the
+        persistent context is untouched and a paired follow-up check
+        (e.g. with the negated formula) reuses everything."""
         self._model = None
-        phi = simplify(mk_and(*self.assertions(), *extra))
-        if phi == TRUE:
-            self._model = Model()
-            return Result.SAT
-        if phi == FALSE:
-            return Result.UNSAT
+        if self._checks == 0:
+            SOLVE_STATS.fresh_solves += 1
+        else:
+            SOLVE_STATS.incremental_queries += 1
+            SOLVE_STATS.clauses_reused += self._lemmas + self._sat.learned_count
+            # Warm check: keep the clauses, drop the heuristic state (see
+            # SatSolver.reset_heuristics for why).
+            self._sat.reset_heuristics()
+        self._checks += 1
+        depth = len(self._scopes) - 1
+        if depth > SOLVE_STATS.window_max_depth:
+            SOLVE_STATS.window_max_depth = depth
 
-        pre = _Preprocessed()
-        phi = pre.rewrite(phi)
-        # Definitions may themselves introduce div/app-free terms only.
-        full = simplify(mk_and(phi, *pre.defs))
-        if full == TRUE:
-            self._model = Model()
-            return Result.SAT
-        if full == FALSE:
-            return Result.UNSAT
+        assumptions = [s.selector for s in self._scopes[1:]]
+        temp = _Scope(selector=None, pre_mark=self._pre.mark())
+        if extra:
+            temp.selector = self._atoms.fresh_var()
+            self._sat.ensure_vars(temp.selector)
+            self._sat.reset_trail()
+            for f in extra:
+                self._assert_formula(f, temp)
+            assumptions.append(temp.selector)
+        guards: list[int] = []
+        try:
+            return self._run(assumptions, temp, guards)
+        finally:
+            self._sat.reset_trail()
+            for sel in ([temp.selector] if temp.selector is not None else []) + guards:
+                self._sat.add_clause([-sel])
+                self.retired += 1
+            self._pre.undo_to(temp.pre_mark)
 
-        nnf = to_nnf(full)
-        atoms = AtomMap()
-        clauses = to_cnf(nnf, atoms)
-        sat = SatSolver()
-        sat.ensure_vars(atoms.num_vars)
-        for cl in clauses:
-            if not sat.add_clause(cl):
-                return Result.UNSAT
+    def _run(
+        self, assumptions: list[int], temp: _Scope, guards: list[int]
+    ) -> Result:
+        """The DPLL(T) loop over the persistent CDCL core.
 
+        LIA unsat cores become permanent lemmas; blocks for UNKNOWN
+        theory answers (not valid lemmas — the conjunction may be SAT)
+        are guarded by a per-check selector collected in ``guards`` and
+        retired by the caller."""
+        active_theory: set[int] = set(temp.theory_vars)
+        for s in self._scopes:
+            active_theory |= s.theory_vars
         unknown_seen = False
         for _ in range(self._max_rounds):
-            verdict = sat.solve()
+            verdict = self._sat.solve(assumptions)
             if verdict is None:
                 return Result.UNKNOWN
             if verdict is False:
                 return Result.UNKNOWN if unknown_seen else Result.UNSAT
-            assignment = sat.model_assignment()
-            lits = atoms.theory_lits(assignment)
-            constraints = [_atom_constraints(a, pol) for a, pol in lits]
+            assignment = self._sat.model_assignment()
+            lits = [
+                (a, pol)
+                for a, pol in self._atoms.theory_lits(assignment)
+                if self._atoms.atom_to_var[a] in active_theory
+            ]
+            constraints = [self._constraint(a, pol) for a, pol in lits]
             res = self._lia.solve(constraints)
             if res.status is Result.SAT:
                 assert res.model is not None
-                self._model = self._build_model(res.model, full, pre)
+                self._model = self._build_model(res.model, temp)
                 return Result.SAT
             core = lits
             if res.status is Result.UNKNOWN:
@@ -336,10 +552,20 @@ class Solver:
             else:
                 core = self._shrink_core(lits)
             blocking = [
-                (-atoms.var_for(a)) if pol else atoms.var_for(a)
+                (-self._atoms.var_for(a)) if pol else self._atoms.var_for(a)
                 for a, pol in core
             ]
-            if not sat.block_and_continue(blocking):
+            if res.status is Result.UNKNOWN:
+                # Not a valid lemma: guard it so it dies with this check.
+                if not guards:
+                    g = self._atoms.fresh_var()
+                    self._sat.ensure_vars(g)
+                    guards.append(g)
+                    assumptions = assumptions + [g]
+                blocking = blocking + [-guards[0]]
+            else:
+                self._lemmas += 1
+            if not self._sat.block_and_continue(blocking):
                 return Result.UNKNOWN if unknown_seen else Result.UNSAT
         return Result.UNKNOWN
 
@@ -353,31 +579,45 @@ class Solver:
         i = 0
         while i < len(core):
             trial = core[:i] + core[i + 1 :]
-            constraints = [_atom_constraints(a, pol) for a, pol in trial]
+            constraints = [self._constraint(a, pol) for a, pol in trial]
             if self._lia.solve(constraints).status is Result.UNSAT:
                 core = trial
             else:
                 i += 1
         return core
 
-    def _build_model(
-        self, env: dict, phi: Formula, pre: _Preprocessed
-    ) -> Model:
+    def _build_model(self, env: dict, temp: _Scope) -> Model:
         full_env: dict[Var, int] = {}
-        for v in free_vars(phi):
+        for scope in self._scopes:
+            for v in scope.free_vars:
+                full_env[v] = env.get(v, 0)
+        for v in temp.free_vars:
             full_env[v] = env.get(v, 0)
         for v, val in env.items():
             if isinstance(v, Var):
                 full_env[v] = val
         funcs: dict[FuncDecl, dict[tuple[int, ...], int]] = {}
-        for func, apps in pre.apps_by_func.items():
+        from .terms import subterms
+
+        for apps in self._pre.apps_by_func.values():
+            for app, _ in apps:
+                # An argument variable the theory never constrained (a
+                # single application, no consistency atoms) defaults to 0
+                # so its table entry is kept; with two or more
+                # applications the consistency atoms put the argument
+                # variables in the LIA model, so no collision can arise.
+                for a in app.args:
+                    for t in subterms(a):
+                        if isinstance(t, Var) and t not in full_env:
+                            full_env[t] = 0
+        for func, apps in self._pre.apps_by_func.items():
             table: dict[tuple[int, ...], int] = {}
             for app, var in apps:
                 try:
                     args = tuple(
                         _eval_int(a, full_env) for a in app.args
                     )
-                except KeyError:
+                except KeyError:  # pragma: no cover - defensive
                     continue
                 table[args] = full_env.get(var, 0)
             funcs[func] = table
@@ -436,16 +676,22 @@ def _decode_model(cached, orig_vars, orig_funcs) -> Model:
     return Model(env, funcs)
 
 
-def _cached_check(phi: Formula) -> tuple[Result, Optional[Model]]:
+def _cached_check(
+    phi: Formula, *, need_model: bool = False
+) -> tuple[Result, Optional[Model]]:
     """Decide ``phi`` through the canonicalizing cache.
 
     The *canonical* formula is what gets solved, so the verdict and the
     model are functions of the query's structure alone — however its
     locations happened to be numbered, and whether or not the entry was
-    already cached.
+    already cached.  Entries written by the incremental path are
+    *result-only* (see ``smt.cache``); when a model is needed for one,
+    the canonical formula is solved here and the entry upgraded, so
+    model choice stays a deterministic function of the canonical formula
+    no matter which path populated the cache first.
     """
     canon, orig_vars, orig_funcs = canonicalize(phi)
-    entry = GLOBAL_CACHE.get(canon)
+    entry = GLOBAL_CACHE.get(canon, need_model=need_model)
     if entry is None:
         s = Solver()
         s.add(canon)
@@ -453,7 +699,7 @@ def _cached_check(phi: Formula) -> tuple[Result, Optional[Model]]:
         stored = _encode_model(s.model()) if res is Result.SAT else None
         GLOBAL_CACHE.put(canon, res, stored)
     else:
-        res, stored = entry
+        res, stored, _ = entry
     if stored is None:
         return res, None
     return res, _decode_model(stored, orig_vars, orig_funcs)
@@ -491,7 +737,7 @@ def get_model(*formulas: Formula) -> Optional[Model]:
         if s.check() is Result.SAT:
             return s.model()
         return None
-    res, model = _cached_check(phi)
+    res, model = _cached_check(phi, need_model=True)
     return model if res is Result.SAT else None
 
 

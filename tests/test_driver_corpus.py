@@ -116,8 +116,9 @@ TOP_KEYS = {"schema", "config", "totals", "backends", "agreement", "programs"}
 PROGRAM_KEYS = {
     "name", "kind", "status", "wall_ms", "backend", "states_explored",
     "proof_queries", "solver_queries", "pruned_states", "solver_cache_hits",
-    "chained_steps", "errors_found", "cex_attempts", "counterexample",
-    "detail",
+    "chained_steps", "solver_fresh_solves", "solver_incremental",
+    "solver_clauses_reused", "solver_scope_depth", "errors_found",
+    "cex_attempts", "counterexample", "detail",
 }
 CEX_KEYS = {
     "bindings", "err_label", "err_op", "validated_core", "validated_conc",
@@ -127,7 +128,8 @@ TOTALS_KEYS = {
     "programs", "as_expected", "unexpected", "safe", "counterexamples",
     "validated_counterexamples", "timeouts", "states_explored",
     "chained_steps", "pruned_states", "solver_queries",
-    "solver_cache_hits", "wall_ms",
+    "solver_cache_hits", "solver_fresh_solves", "solver_incremental",
+    "solver_clauses_reused", "solver_scope_depth", "wall_ms",
 }
 AGREEMENT_KEYS = {
     "shared_programs", "agreed", "inconclusive", "disagreements",

@@ -82,6 +82,53 @@ class TestValidatedRatchet:
         assert not any(line.startswith("FAIL") for line in lines)
 
 
+class TestIncrementalReuseRatchet:
+    """Schema v5: the from-scratch solver-solve count is gated like the
+    other grow-bad totals — contexts that stop being reused fail CI."""
+
+    def test_fresh_solve_regression_fails(self):
+        lines = compare(
+            {"solver_fresh_solves": 100},
+            {"solver_fresh_solves": 150},
+            0.20,
+        )
+        assert any(
+            line.startswith("FAIL") and "from-scratch" in line
+            for line in lines
+        )
+
+    def test_fresh_solve_within_budget_passes(self):
+        lines = compare(
+            {"solver_fresh_solves": 100},
+            {"solver_fresh_solves": 110},
+            0.20,
+        )
+        assert not any(line.startswith("FAIL") for line in lines)
+
+    def test_fewer_fresh_solves_is_an_improvement(self):
+        lines = compare(
+            {"solver_fresh_solves": 100},
+            {"solver_fresh_solves": 40},
+            0.20,
+        )
+        assert not any(line.startswith("FAIL") for line in lines)
+        assert any("improvement" in line and "from-scratch" in line
+                   for line in lines)
+
+    def test_pre_v5_baseline_is_skipped(self):
+        lines = compare(
+            {"states_explored": 100, "wall_ms": 1000},
+            {"solver_fresh_solves": 40, "states_explored": 100,
+             "wall_ms": 1000},
+            0.20,
+        )
+        assert any(
+            line.startswith("SKIP") and "from-scratch" in line
+            for line in lines
+        )
+        assert not any(line.startswith("FAIL") for line in lines)
+
+
 class TestMain:
     def test_exit_codes(self, tmp_path):
         base = _report(tmp_path, "base.json", 100, 1000)

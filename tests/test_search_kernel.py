@@ -253,5 +253,9 @@ class TestMemoOnOffProperty:
         t_on = report_on.totals()
         t_off = report_off.totals()
         assert t_on["states_explored"] < t_off["states_explored"]
-        assert t_on["solver_cache_hits"] > 0
+        # Since the incremental contexts (schema v5), repeated proof
+        # queries are answered on warm solver scopes rather than through
+        # cached one-shot solves, so the cache-hit count is no longer a
+        # memo-on signal — incremental reuse is.
+        assert t_on["solver_incremental"] > t_on["solver_fresh_solves"]
         assert t_off["solver_cache_hits"] == 0

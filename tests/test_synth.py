@@ -151,11 +151,21 @@ class TestTimeoutRowsKeepPartialStats:
         assert r.solver_queries > 0
         assert r.chained_steps > 0
 
-    def test_runner_keeps_partial_stats_in_totals(self):
-        # sum-unknown-fn-abs takes ~2s on the scv backend, so a 0.4s
-        # budget reliably times out with some work already done.
-        cfg = RunConfig(max_states=10_000_000, timeout_s=0.4)
-        report = run_corpus(["sum-unknown-fn-abs"], config=cfg, backend="scv")
+    def test_runner_keeps_partial_stats_in_totals(self, monkeypatch):
+        # A spinning program makes the timeout machine-speed-independent
+        # (sum-unknown-fn-abs, used previously, got fast enough under
+        # the incremental solver to finish inside any sane budget).
+        from repro.driver import corpus as corpus_mod
+        from repro.driver.corpus import CorpusProgram
+
+        spin = CorpusProgram(
+            name="spin-forever", kind="?", source=self.SPIN,
+            description="unbounded walk for the timeout test",
+            backends=("scv",),
+        )
+        monkeypatch.setitem(corpus_mod._BY_NAME, spin.name, spin)
+        cfg = RunConfig(max_states=10_000_000, timeout_s=0.3)
+        report = run_corpus([spin.name], config=cfg, backend="scv")
         [row] = report.results
         assert row.status == STATUS_TIMEOUT
         assert row.states_explored > 0
