@@ -7,7 +7,15 @@ Subcommands (full reference: docs/CLI.md):
   client program behind a counterexample (docs/COUNTEREXAMPLES.md);
 * ``bench``        — run the benchmark corpus (optionally in parallel)
   and write the machine-readable ``BENCH_driver.json``;
-* ``corpus list`` / ``corpus show NAME`` — inspect the corpus.
+* ``corpus list`` / ``corpus show NAME`` — inspect the corpus;
+* ``store stats`` / ``store gc`` / ``store verify`` — maintain the
+  persistent verification store (docs/ARCHITECTURE.md).
+
+``verify`` and ``bench`` accept ``--store [DIR]`` to read/write the
+persistent content-addressed result store (default directory
+``.repro-store``; the ``REPRO_STORE`` environment variable supplies a
+default, ``--no-store`` disables it).  Warm runs replay stored verdicts
+byte-identically, re-verifying only units whose content changed.
 
 Both ``verify`` and ``bench`` take ``--backend {core,scv,both}``:
 ``core`` is the typed §3 SPCF pipeline, ``scv`` the untyped §4 contract
@@ -19,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import asdict
 
@@ -72,6 +81,29 @@ def _add_budget_flags(p: argparse.ArgumentParser) -> None:
         "proof query re-solves its path condition from scratch "
         "(differential debugging; verdicts must be identical)",
     )
+    p.add_argument(
+        "--store", nargs="?", const=None, default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="persist and replay verification results in a content-"
+        "addressed store (default directory .repro-store, or the "
+        "REPRO_STORE environment variable)",
+    )
+    p.add_argument(
+        "--no-store", action="store_true",
+        help="ignore the store even if REPRO_STORE is set",
+    )
+
+
+def _store_dir(args: argparse.Namespace):
+    """Resolve the store directory: --no-store > --store [DIR] >
+    $REPRO_STORE > off."""
+    if args.no_store:
+        return None
+    if hasattr(args, "store"):  # --store was given (maybe without a DIR)
+        from ..store import DEFAULT_STORE_DIR
+
+        return args.store or DEFAULT_STORE_DIR
+    return os.environ.get("REPRO_STORE") or None
 
 
 def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
@@ -84,6 +116,7 @@ def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
         strategy=args.strategy,
         memo=not args.no_memo,
         incremental=not args.no_incremental,
+        store_dir=_store_dir(args),
     )
 
 
@@ -191,6 +224,33 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from ..store import DEFAULT_STORE_DIR, get_store
+    from ..store.verdicts import check_entries
+
+    root = args.dir or os.environ.get("REPRO_STORE") or DEFAULT_STORE_DIR
+    if not os.path.isdir(root):
+        print(f"repro: no store at {root!r} (run with --store first, or "
+              "pass --dir)", file=sys.stderr)
+        return 2
+    store = get_store(root)
+    if args.store_cmd == "stats":
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.store_cmd == "gc":
+        summary = store.gc(max_bytes=args.max_bytes)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    # verify: re-run a sample of stored verdicts and compare
+    outcome = check_entries(store, sample=args.sample)
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    if outcome["mismatches"]:
+        print(f"repro: {len(outcome['mismatches'])} stored verdict(s) "
+              "disagree with fresh runs", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -236,6 +296,38 @@ def main(argv: list[str] | None = None) -> int:
     p_show = corpus_sub.add_parser("show", help="print one program's source")
     p_show.add_argument("name")
     p_show.set_defaults(fn=_cmd_corpus)
+
+    p_store = sub.add_parser(
+        "store", help="maintain the persistent verification store"
+    )
+    p_store.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="store directory (default: $REPRO_STORE or .repro-store)",
+    )
+    store_sub = p_store.add_subparsers(dest="store_cmd", required=True)
+    p_sstats = store_sub.add_parser(
+        "stats", help="entry counts and sizes, as JSON"
+    )
+    p_sstats.set_defaults(fn=_cmd_store)
+    p_sgc = store_sub.add_parser(
+        "gc", help="compact the solver shards and optionally bound the size"
+    )
+    p_sgc.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict oldest entries until the store fits this many bytes",
+    )
+    p_sgc.set_defaults(fn=_cmd_store)
+    p_sverify = store_sub.add_parser(
+        "verify",
+        help="re-run a sample of stored verdicts and compare (exit 1 on "
+        "any disagreement)",
+    )
+    p_sverify.add_argument(
+        "--sample", type=int, default=16,
+        help="how many entries to re-check, evenly spaced over the store "
+        "(default 16; 0 = all)",
+    )
+    p_sverify.set_defaults(fn=_cmd_store)
 
     args = parser.parse_args(argv)
     try:

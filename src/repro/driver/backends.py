@@ -93,6 +93,8 @@ class RunConfig:
     strategy: str = "bfs"  # search kernel frontier discipline
     memo: bool = True  # fingerprint memoisation + solver-query cache
     incremental: bool = True  # per-path incremental solver contexts
+    store_dir: Optional[str] = None  # persistent store root (None: no store)
+    client_of: Optional[str] = None  # narrow the demonic client (repro.store)
 
 
 class _Deadline(Exception):
@@ -395,7 +397,8 @@ class UntypedScvBackend:
         found = None  # the first validated counterexample, if any
         try:
             with _deadline(cfg.timeout_s):
-                init = inject_program(program, machine)
+                init = inject_program(program, machine,
+                                      client_of=cfg.client_of)
                 for blame_state in find_known_blames(
                     init, machine, max_states=cfg.max_states, stats=stats,
                     strategy=cfg.strategy, memo=cfg.memo,
@@ -405,7 +408,8 @@ class UntypedScvBackend:
                         break
                     attempts += 1
                     cex = construct_u(
-                        program, blame_state, validate=True, fuel=cfg.fuel
+                        program, blame_state, validate=True, fuel=cfg.fuel,
+                        client_of=cfg.client_of,
                     )
                     if cex is None or cex.validated is False:
                         continue

@@ -1,13 +1,13 @@
 """The seeded benchmark corpus.
 
-Sixty small higher-order programs in the surface syntax, arranged as
-safe/buggy pairs in the style of the paper's §5 evaluation: each buggy
-variant seeds exactly the kind of fault the tool exists to find (a
-reachable partial-primitive application or contract violation), and
+Sixty-six small higher-order programs in the surface syntax, arranged
+as safe/buggy pairs in the style of the paper's §5 evaluation: each
+buggy variant seeds exactly the kind of fault the tool exists to find
+(a reachable partial-primitive application or contract violation), and
 each safe variant guards it so that every symbolic path is provably
 error-free.
 
-Three sections:
+Four sections:
 
 * the **shared subset** (32 programs) stays contract-free and
   SPCF-expressible, runs on both backends, and is the cross-check
@@ -23,7 +23,15 @@ Three sections:
   dependent contracts, stateful modules the client drives with
   ``set!``-visible effects, multi-provide dispatch, and nested havoc —
   every buggy variant's finding must re-run concretely through its
-  synthesized client.
+  synthesized client;
+* the **module-composition section** (6 programs, tags
+  ``contracts``+``modules``, backend ``scv`` only): multi-module
+  programs — contract chains across two and three module boundaries,
+  and top-level expressions calling into monitored provides.  These are
+  the granularity population for the persistent store
+  (:mod:`repro.store`): under ``--store`` each is decomposed into
+  per-module verification units, and their verdicts are pinned to be
+  identical decomposed and whole (``tests/test_store.py``).
 
 Shared-subset discipline (see ``driver.lower``):
 
@@ -608,6 +616,84 @@ CORPUS: tuple[CorpusProgram, ...] = (
         "  (provide [run (-> integer?)]))",
         "|g(g(3))| + 1 is positive for every integer-valued g",
         "synth", "opaque-module",
+    ),
+    # ------------------------------------------------------------------
+    # Module composition (scv only; tags contracts+modules).  Multi-
+    # module programs: the persistent store (repro.store) decomposes
+    # these into per-module verification units, so they pin both the
+    # decomposition's verdict-equivalence and its cache granularity
+    # (editing one module re-verifies only the units that can reach it).
+    # ------------------------------------------------------------------
+    _buggy_scv(
+        "modules-chain-div",
+        "(module lib\n"
+        "  (define (half x) (quotient x 2))\n"
+        "  (provide [half (-> integer? integer?)]))\n"
+        "(module app\n"
+        "  (define (use n) (quotient 100 (half n)))\n"
+        "  (provide [use (-> integer? integer?)]))",
+        "two boundaries: half may return 0, app divides by it",
+        "smoke", "modules",
+    ),
+    _safe_scv(
+        "modules-chain-div-guarded",
+        "(module lib\n"
+        "  (define (my-abs x) (if (< x 0) (- 0 x) x))\n"
+        "  (define (bump x) (+ (my-abs x) 1))\n"
+        "  (provide [bump (-> integer? positive?)]))\n"
+        "(module app\n"
+        "  (define (use n) (quotient 100 (bump n)))\n"
+        "  (provide [use (-> integer? integer?)]))",
+        "bump's positive? range protects app's division",
+        "smoke", "modules",
+    ),
+    _buggy_scv(
+        "modules-main-prim-div",
+        "(module lib\n"
+        "  (define (f x) (- x x))\n"
+        "  (provide [f (-> integer? integer?)]))\n"
+        "(quotient 100 (f 5))",
+        "the top-level expression divides by f(5) = 0",
+        "modules",
+    ),
+    _safe_scv(
+        "modules-main-prim-div-guarded",
+        "(module lib\n"
+        "  (define (my-abs x) (if (< x 0) (- 0 x) x))\n"
+        "  (define (f x) (+ (my-abs (- x x)) 1))\n"
+        "  (provide [f (-> integer? integer?)]))\n"
+        "(quotient 100 (f 5))",
+        "f always returns 1, so the top-level division is total",
+        "modules",
+    ),
+    _buggy_scv(
+        "modules-triple-pipeline",
+        "(module m1\n"
+        "  (define (dec x) (- x 1))\n"
+        "  (provide [dec (-> integer? integer?)]))\n"
+        "(module m2\n"
+        "  (define (prep n) (dec (dec n)))\n"
+        "  (provide [prep (-> integer? integer?)]))\n"
+        "(module m3\n"
+        "  (define (run n) (quotient 100 (prep n)))\n"
+        "  (provide [run (-> integer? integer?)]))",
+        "three boundaries: prep(2) = 0 reaches m3's division",
+        "modules",
+    ),
+    _safe_scv(
+        "modules-triple-pipeline-guarded",
+        "(module m1\n"
+        "  (define (dec x) (- x 1))\n"
+        "  (provide [dec (-> integer? integer?)]))\n"
+        "(module m2\n"
+        "  (define (prep n) (dec (dec n)))\n"
+        "  (provide [prep (-> integer? integer?)]))\n"
+        "(module m3\n"
+        "  (define (my-abs x) (if (< x 0) (- 0 x) x))\n"
+        "  (define (run n) (quotient 100 (+ (my-abs (prep n)) 1)))\n"
+        "  (provide [run (-> integer? integer?)]))",
+        "|prep(n)| + 1 keeps m3's denominator positive",
+        "modules",
     ),
 )
 

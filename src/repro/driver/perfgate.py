@@ -28,8 +28,17 @@ One total is gated in the *other* direction, with no tolerance:
   regression (a finding went back to "skipped" or stopped reproducing)
   and fails the build outright.
 
-Schema changes are tolerated: only the gated totals are read, and a
-baseline written by an older schema still gates a newer fresh report.
+``--max-regress-wall`` sets a separate (typically looser) threshold
+for the wall-clock total — warm-store runs gate wall time against a
+committed warm baseline, where scheduler noise dominates the tiny
+absolute times.
+
+*Known older* schemas are tolerated: only the gated totals are read,
+and a baseline written by an older ``repro-bench/vN`` schema still
+gates a newer fresh report (missing totals are skipped, not failed).
+An *unknown* schema — garbage, a different tool's report, or a version
+newer than this checkout understands — fails fast with exit 2 and a
+clear message instead of gating against meaningless numbers.
 Improvements are reported but never fail the gate — commit the fresh
 report as the new baseline to ratchet.
 """
@@ -38,7 +47,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
+
+from .report import SCHEMA
+
+#: The newest report version this gate understands.
+_CURRENT_VERSION = int(SCHEMA.rsplit("/v", 1)[1])
+_SCHEMA_RE = re.compile(r"^repro-bench/v(\d+)$")
 
 #: (key, pretty name) of the gated totals (regressions grow the value).
 GATED = (
@@ -53,32 +69,69 @@ GATED_MIN = (
 )
 
 
+def _check_schema(path: str, report: dict) -> None:
+    schema = report.get("schema")
+    m = _SCHEMA_RE.match(schema) if isinstance(schema, str) else None
+    if m is None:
+        raise ValueError(
+            f"{path}: unrecognized report schema {schema!r} — expected "
+            f"repro-bench/v1..v{_CURRENT_VERSION}; is this really a "
+            "repro bench report?"
+        )
+    if int(m.group(1)) > _CURRENT_VERSION:
+        raise ValueError(
+            f"{path}: report schema {schema!r} is newer than this "
+            f"checkout understands ({SCHEMA}) — update the code or "
+            "regenerate the report"
+        )
+
+
 def load_totals(path: str) -> dict:
     with open(path, encoding="utf-8") as fh:
         report = json.load(fh)
+    if not isinstance(report, dict):
+        raise ValueError(f"{path}: not a report object")
+    _check_schema(path, report)
     totals = report.get("totals")
     if not isinstance(totals, dict):
         raise ValueError(f"{path}: no totals section (schema {report.get('schema')!r})")
     return totals
 
 
-def compare(baseline: dict, fresh: dict, max_regress: float) -> list[str]:
+def _numeric(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def compare(
+    baseline: dict, fresh: dict, max_regress: float,
+    *, max_regress_wall: float | None = None,
+) -> list[str]:
     """Human-readable comparison lines; lines starting with FAIL gate."""
     lines = []
     for key, pretty in GATED:
         old = baseline.get(key)
         new = fresh.get(key)
-        if not old:  # missing or zero baseline: nothing to gate against
+        if not _numeric(old) or not old:  # missing/zero/garbage baseline
             lines.append(f"SKIP {pretty}: no usable baseline value ({old!r})")
             continue
         if new is None:  # fresh report from another schema: same tolerance
             lines.append(f"SKIP {pretty}: missing from the fresh report")
             continue
+        if not _numeric(new):
+            lines.append(
+                f"FAIL {pretty}: non-numeric fresh value ({new!r})"
+            )
+            continue
+        budget = (
+            max_regress_wall
+            if key == "wall_ms" and max_regress_wall is not None
+            else max_regress
+        )
         ratio = (new - old) / old
         word = "regression" if ratio > 0 else "improvement"
         line = f"{pretty}: {old:g} -> {new:g} ({ratio:+.1%} {word})"
-        if ratio > max_regress:
-            lines.append(f"FAIL {line} exceeds the {max_regress:.0%} budget")
+        if ratio > budget:
+            lines.append(f"FAIL {line} exceeds the {budget:.0%} budget")
         else:
             lines.append(f"ok   {line}")
     for key, pretty in GATED_MIN:
@@ -89,6 +142,12 @@ def compare(baseline: dict, fresh: dict, max_regress: float) -> list[str]:
             continue
         if new is None:
             lines.append(f"SKIP {pretty}: missing from the fresh report")
+            continue
+        if not _numeric(old) or not _numeric(new):
+            lines.append(
+                f"FAIL {pretty}: non-numeric value "
+                f"(baseline {old!r}, fresh {new!r})"
+            )
             continue
         line = f"{pretty}: {old:g} -> {new:g}"
         if new < old:
@@ -109,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
         "--max-regress", type=float, default=0.20, metavar="FRACTION",
         help="allowed relative regression per gated total (default 0.20)",
     )
+    parser.add_argument(
+        "--max-regress-wall", type=float, default=None, metavar="FRACTION",
+        help="separate threshold for the wall-clock total (default: the "
+        "--max-regress value); warm-store gates use a looser wall budget "
+        "because their absolute times are scheduler-noise-sized",
+    )
     args = parser.parse_args(argv)
     try:
         baseline = load_totals(args.baseline)
@@ -116,7 +181,8 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"perfgate: {exc}", file=sys.stderr)
         return 2
-    lines = compare(baseline, fresh, args.max_regress)
+    lines = compare(baseline, fresh, args.max_regress,
+                    max_regress_wall=args.max_regress_wall)
     for line in lines:
         print(line)
     return 1 if any(line.startswith("FAIL") for line in lines) else 0

@@ -7,8 +7,8 @@ serialised as ``BENCH_driver.json``.  The JSON shape is versioned
 of the benchmark file are meaningful and the perf trajectory can be
 tracked across commits.
 
-Schema ``repro-bench/v5`` (the incremental-solving revision; supersedes
-the executable-counterexample ``v4``):
+Schema ``repro-bench/v6`` (the persistent-store revision; supersedes
+the incremental-solving ``v5``):
 
 * every program row carries a ``backend`` field (``core`` or ``scv``);
 * rows and totals carry the search kernel's economy counters:
@@ -40,6 +40,15 @@ the executable-counterexample ``v4``):
 * ``backends`` holds per-backend totals (counts, states, solver
   queries, cache hits, wall time) so the two engines' cost profiles
   diff cleanly;
+* new in v6 — the persistent-store economy counters from
+  :mod:`repro.store`: per row, ``store_hits``/``store_misses`` (verdict
+  -store lookups for the row's verification units) and
+  ``modules_reverified`` (units actually recomputed — for a multi-
+  module scv program under the store, one unit per module plus one for
+  the top-level expression).  All three are zero when no store is
+  configured.  Totals sum them.  Store counters are *volatile* for
+  differential purposes: a warm run differs from a cold run in exactly
+  these fields plus timing;
 * ``agreement`` records the cross-check: for every program both
   backends ran, their verdicts must not *conflict* (one proving safe
   while the other exhibits a counterexample).  Inconclusive statuses
@@ -56,7 +65,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-SCHEMA = "repro-bench/v5"
+SCHEMA = "repro-bench/v6"
 
 # Terminal statuses a verification attempt can end in.
 STATUS_SAFE = "safe"  # search exhausted, no (modelable) error
@@ -81,6 +90,11 @@ VOLATILE_ROW_FIELDS = frozenset({
     "solver_incremental",
     "solver_clauses_reused",
     "solver_scope_depth",
+    # The persistent-store economy (repro.store): warm and cold runs
+    # must agree on everything *except* how much came from the store.
+    "store_hits",
+    "store_misses",
+    "modules_reverified",
 })
 
 
@@ -132,6 +146,9 @@ class ProgramResult:
     solver_scope_depth: int = 0  # deepest assertion-scope stack seen
     errors_found: int = 0
     cex_attempts: int = 0
+    store_hits: int = 0  # verification units replayed from the store
+    store_misses: int = 0  # units the store did not hold
+    modules_reverified: int = 0  # units actually recomputed this run
     counterexample: Optional[CexReport] = None
     detail: str = ""
 
@@ -179,6 +196,9 @@ def _totals(results: list[ProgramResult]) -> dict:
         "solver_scope_depth": max(
             (r.solver_scope_depth for r in results), default=0
         ),
+        "store_hits": sum(r.store_hits for r in results),
+        "store_misses": sum(r.store_misses for r in results),
+        "modules_reverified": sum(r.modules_reverified for r in results),
         "wall_ms": round(sum(r.wall_ms for r in results), 1),
     }
 
@@ -380,6 +400,12 @@ def render_report(report: BenchReport, *, verbose: bool = False) -> str:
         f"{t['solver_incremental']} incremental solves), "
         f"{t['wall_ms']:.0f} ms total"
     )
+    if t["store_hits"] or t["store_misses"]:
+        lines.append(
+            f"-- store: {t['store_hits']} unit hits, "
+            f"{t['store_misses']} misses "
+            f"({t['modules_reverified']} units re-verified)"
+        )
     agreement = report.agreement()
     if agreement["shared_programs"]:
         dis = agreement["disagreements"]

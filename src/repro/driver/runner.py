@@ -50,7 +50,18 @@ def verify_source(
     config: Optional[RunConfig] = None,
     backend: str = "core",
 ) -> ProgramResult:
-    """Run the selected backend's whole pipeline on one surface program."""
+    """Run the selected backend's whole pipeline on one surface program.
+
+    With ``config.store_dir`` set, the persistent store is in the loop:
+    stored verification units replay and fresh ones are written back
+    (see :mod:`repro.store.verdicts`)."""
+    if config is not None and config.store_dir:
+        # Imported lazily: the store builds on the driver, not vice versa.
+        from ..store.verdicts import verify_with_store
+
+        return verify_with_store(
+            source, name=name, kind=kind, config=config, backend=backend
+        )
     return get_backend(backend).verify(source, name=name, kind=kind, config=config)
 
 

@@ -331,6 +331,7 @@ def construct_u(
     *,
     validate: bool = True,
     fuel: int = 200_000,
+    client_of: Optional[str] = None,
 ) -> Optional[UCounterexample]:
     """Build (and, for module-free programs, validate) a counterexample
     from a known-blame state.  Returns None when the heap's integer
@@ -359,7 +360,9 @@ def construct_u(
             # Imported lazily: repro.synth imports this module.
             from ..synth import check_client, synthesize_client
 
-            cex.client = synthesize_client(program, state.heap, recon)
+            cex.client = synthesize_client(
+                program, state.heap, recon, client_of=client_of
+            )
             if cex.client is not None:
                 cex.validated = check_client(
                     cex.client, blame, bindings, fuel=fuel

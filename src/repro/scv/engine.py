@@ -143,11 +143,33 @@ def _wrap_module(m: Module, body: UExpr) -> UExpr:
     return body
 
 
-def assemble(program: Program) -> UExpr:
+def client_provides(
+    program: Program, client_of: Optional[str] = None
+) -> list[str]:
+    """The provide names fed to the demonic client.
+
+    ``None`` (the default) feeds every module's provides — the
+    whole-program question.  A module name narrows the client to that
+    module's provides, which is how the persistent store's module units
+    (``repro.store``) ask "what can a client of *this* module cause?" —
+    the other modules in the unit's slice are still loaded and their
+    monitored rebindings still apply.  The empty string drops the client
+    entirely (the store's main-expression unit)."""
+    if client_of is None:
+        return [p.name for m in program.modules for p in m.provides]
+    if client_of == "":
+        return []
+    for m in program.modules:
+        if m.name == client_of:
+            return [p.name for p in m.provides]
+    raise KeyError(f"no module named {client_of!r} to build a client for")
+
+
+def assemble(program: Program, client_of: Optional[str] = None) -> UExpr:
     """The verification goal as a single expression: modules wrapped
     around the top-level (if any) and the demonic client (if anything is
-    provided)."""
-    provided = [p.name for m in program.modules for p in m.provides]
+    provided — narrowed by ``client_of``, see ``client_provides``)."""
+    provided = client_provides(program, client_of)
     parts: list[UExpr] = []
     if provided:
         parts.append(
@@ -170,15 +192,19 @@ def assemble(program: Program) -> UExpr:
     return body
 
 
-def inject_program(program: Program, machine: SMachine) -> SState:
+def inject_program(
+    program: Program,
+    machine: SMachine,
+    client_of: Optional[str] = None,
+) -> SState:
     env, heap = build_base_heap(machine)
-    if any(m.provides for m in program.modules):
+    if client_provides(program, client_of):
         # Pre-narrow the demonic client: our synthetic context is a
         # procedure by construction, never a blameworthy non-procedure.
         heap = heap.set(
             Loc(f"o:{CLIENT_LABEL}"), UOpq(frozenset({TAG_PROCEDURE}))
         )
-    return SState(assemble(program), env, heap.frozen(), ())
+    return SState(assemble(program, client_of), env, heap.frozen(), ())
 
 
 # ---------------------------------------------------------------------------

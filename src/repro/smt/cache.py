@@ -163,6 +163,12 @@ class SolverCache:
         self.enabled = True
         self.hits = 0
         self.misses = 0
+        #: Optional persistent tier (``repro.store.solver.SolverStore``
+        #: or anything with its ``lookup``/``store`` methods).  Probed on
+        #: in-memory misses and notified of fresh solves; attached by the
+        #: driver's store layer, never constructed here — the smt package
+        #: stays storage-agnostic.
+        self.backing = None
         self._table: OrderedDict[
             Formula, tuple[Result, Optional[_CachedModel], bool]
         ]
@@ -194,15 +200,26 @@ class SolverCache:
         self, key: Formula, *, need_model: bool = False
     ) -> Optional[tuple[Result, Optional[_CachedModel], bool]]:
         """Look up an entry; with ``need_model`` a result-only SAT entry
-        counts as a miss (the caller will solve and upgrade it)."""
+        counts as a miss (the caller will solve and upgrade it).  On an
+        in-memory miss the persistent backing (when attached) is probed
+        and a hit promoted into the table — entries are pure functions
+        of the canonical formula, so a disk hit is exactly as good as a
+        fresh solve."""
         entry = self._table.get(key)
+        if entry is None and self.backing is not None:
+            entry = self.backing.lookup(key)
+            if entry is not None:
+                self._table[key] = entry
+                while len(self._table) > self.maxsize:
+                    self._table.popitem(last=False)
         if entry is None or (
             need_model and entry[0] is Result.SAT and not entry[2]
         ):
             self.misses += 1
             return None
         self.hits += 1
-        self._table.move_to_end(key)
+        if key in self._table:
+            self._table.move_to_end(key)
         return entry
 
     def put(
@@ -228,6 +245,10 @@ class SolverCache:
         self._table.move_to_end(key)
         while len(self._table) > self.maxsize:
             self._table.popitem(last=False)
+        if self.backing is not None and result is not Result.UNKNOWN:
+            # Decisive verdicts persist; UNKNOWN is budget-relative and
+            # another run (or machine) may well do better.
+            self.backing.store(key, result, model, model_known)
 
 
 #: The process-wide cache used by ``solver.check_sat``/``get_model``.

@@ -1,0 +1,327 @@
+"""Content-addressed identities for programs, module slices and configs.
+
+The persistent verdict store (:mod:`repro.store.verdicts`) keys results
+by *what was verified*, not by file name or source bytes.  Three layers
+of canonicalization make the keys stable:
+
+* **format invariance** — digests are computed over the parsed AST, so
+  whitespace, comments and surface sugar (``let``/``cond``/``define``)
+  never perturb the key;
+* **rename invariance** — every locally bound variable (lambda
+  parameters, ``letrec``/``define`` bindings *inside* expressions) is
+  serialized as a positional ``(b i)`` token, the expression-level twin
+  of the state fingerprints in :mod:`repro.search.fingerprint`.
+  Module-level names (definitions, opaque imports, provides, struct
+  fields) are part of the observable interface — they appear in blame
+  messages and monitored rebinding — and keep their names;
+* **metadata erasure** — parse-minted blame labels and display names
+  (``lang.pretty.strip_metadata``) are excluded, so re-parsing the same
+  text in a different label-counter state yields the same digest.
+
+``module_slices`` is the granularity story: for a multi-module program
+it computes, per module, the ordered subset of *earlier* modules the
+module's code can actually reach (free variables resolving to earlier
+provides or struct bindings — the module-boundary structure of
+``scv.engine.assemble``, where each module's ``letrec`` wraps everything
+after it).  A module's verification unit is keyed by the digest of its
+slice, so editing one module re-verifies only the units whose slices
+contain it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from fractions import Fraction
+from typing import Optional
+
+from ..lang.ast import (
+    Module,
+    Program,
+    Quote,
+    UApp,
+    UBegin,
+    UExpr,
+    UIf,
+    ULam,
+    ULetrec,
+    UOpaque,
+    USet,
+    UVar,
+)
+from ..lang.sexp import Symbol
+
+#: Bumped whenever the serialization below (or the stored entry format)
+#: changes incompatibly; part of every config digest, so an old store
+#: directory degrades to a cold cache instead of replaying stale shapes.
+STORE_VERSION = 1
+
+
+class DigestError(Exception):
+    """The program contains a node the canonical serializer cannot walk
+    (store keys must never silently collapse distinct programs)."""
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialization of surface programs
+# ---------------------------------------------------------------------------
+
+
+def _datum(d: object) -> str:
+    """A type-disambiguated token for a quoted datum (bool before int:
+    bool is an int subclass)."""
+    if isinstance(d, bool):
+        return f"#bool:{d}"
+    if isinstance(d, (int, float, complex, str)):
+        return f"#{type(d).__name__}:{d!r}"
+    if isinstance(d, Fraction):
+        return f"#frac:{d.numerator}/{d.denominator}"
+    if isinstance(d, Symbol):
+        return f"#sym:{d.name}"
+    if isinstance(d, (list, tuple)):
+        return "#list(" + " ".join(_datum(x) for x in d) + ")"
+    return f"#datum:{d!r}"
+
+
+class _Serializer:
+    """Alpha-invariant serialization: bound variables become positional
+    ``(b i)`` tokens, free variables keep their names under a distinct
+    ``(f name)`` tag — the two can never collide however a program names
+    its locals."""
+
+    def __init__(self) -> None:
+        self._depth = 0
+
+    def expr(self, e: UExpr, env: dict[str, int]) -> str:
+        if isinstance(e, Quote):
+            return f"(q {_datum(e.datum)})"
+        if isinstance(e, UVar):
+            idx = env.get(e.name)
+            return f"(b {idx})" if idx is not None else f"(f {e.name})"
+        if isinstance(e, UOpaque):
+            return "(opq)"
+        if isinstance(e, ULam):
+            inner = dict(env)
+            for p in e.params:
+                inner[p] = self._depth
+                self._depth += 1
+            return f"(lam {len(e.params)} {self.expr(e.body, inner)})"
+        if isinstance(e, ULetrec):
+            inner = dict(env)
+            for n, _ in e.bindings:
+                inner[n] = self._depth
+                self._depth += 1
+            bs = " ".join(self.expr(x, inner) for _, x in e.bindings)
+            return f"(lr ({bs}) {self.expr(e.body, inner)})"
+        if isinstance(e, UApp):
+            args = " ".join(self.expr(a, env) for a in e.args)
+            return f"(app {self.expr(e.fn, env)} {args})"
+        if isinstance(e, UIf):
+            return (f"(if {self.expr(e.test, env)} {self.expr(e.then, env)} "
+                    f"{self.expr(e.orelse, env)})")
+        if isinstance(e, UBegin):
+            return "(beg " + " ".join(self.expr(x, env) for x in e.exprs) + ")"
+        if isinstance(e, USet):
+            idx = env.get(e.name)
+            tgt = f"(b {idx})" if idx is not None else f"(f {e.name})"
+            return f"(set {tgt} {self.expr(e.value, env)})"
+        raise DigestError(f"cannot serialize expression {e!r}")
+
+    def module(self, m: Module) -> str:
+        # Module-level names are interface, not alpha-renameable: they
+        # name blame parties, monitored rebindings and struct bindings.
+        parts = [f"(mod {m.name}"]
+        for sd in m.structs:
+            parts.append(f"(st {sd.name} ({' '.join(sd.fields)}))")
+        for oname, ctc in m.opaques:
+            c = "-" if ctc is None else self.expr(ctc, {})
+            parts.append(f"(imp {oname} {c})")
+        for name, e in m.definitions:
+            parts.append(f"(def {name} {self.expr(e, {})})")
+        for p in m.provides:
+            c = "-" if p.contract is None else self.expr(p.contract, {})
+            parts.append(f"(prov {p.name} {c})")
+        return " ".join(parts) + ")"
+
+
+def serialize_program(program: Program) -> str:
+    """The canonical, rename-invariant serialization the digests hash."""
+    s = _Serializer()
+    parts = [s.module(m) for m in program.modules]
+    if program.main is not None:
+        parts.append(f"(main {s.expr(program.main, {})})")
+    return "\n".join(parts)
+
+
+def program_digest(program: Program) -> str:
+    """A stable hex identity for a parsed program."""
+    return hashlib.sha256(
+        serialize_program(program).encode("utf-8")
+    ).hexdigest()
+
+
+def config_digest(fields: dict) -> str:
+    """A stable hex identity for everything about a run configuration
+    that can change a verification *result* (budgets, translation mode,
+    strategy, memoisation, incrementality) plus the store and report
+    schema versions — so format changes invalidate instead of corrupt.
+    Worker count and store location are deliberately excluded: they
+    change how a result is computed, never what it is."""
+    from ..driver.report import SCHEMA
+
+    payload = {
+        "store": STORE_VERSION,
+        "schema": SCHEMA,
+        **{k: fields[k] for k in sorted(_SEMANTIC_CONFIG_FIELDS)},
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+#: RunConfig fields that participate in the config digest.
+_SEMANTIC_CONFIG_FIELDS = frozenset({
+    "max_states", "fuel", "timeout_s", "max_cex_attempts",
+    "mode", "strategy", "memo", "incremental",
+})
+
+
+# ---------------------------------------------------------------------------
+# Free variables and module slices
+# ---------------------------------------------------------------------------
+
+
+def free_vars(e: UExpr, bound: frozenset[str] = frozenset()) -> set[str]:
+    """Variable names ``e`` references without binding them locally."""
+    if isinstance(e, UVar):
+        return set() if e.name in bound else {e.name}
+    if isinstance(e, (Quote, UOpaque)):
+        return set()
+    if isinstance(e, ULam):
+        return free_vars(e.body, bound | frozenset(e.params))
+    if isinstance(e, ULetrec):
+        inner = bound | frozenset(n for n, _ in e.bindings)
+        out: set[str] = set()
+        for _, x in e.bindings:
+            out |= free_vars(x, inner)
+        return out | free_vars(e.body, inner)
+    if isinstance(e, UApp):
+        out = free_vars(e.fn, bound)
+        for a in e.args:
+            out |= free_vars(a, bound)
+        return out
+    if isinstance(e, UIf):
+        return (free_vars(e.test, bound) | free_vars(e.then, bound)
+                | free_vars(e.orelse, bound))
+    if isinstance(e, UBegin):
+        out = set()
+        for x in e.exprs:
+            out |= free_vars(x, bound)
+        return out
+    if isinstance(e, USet):
+        target = set() if e.name in bound else {e.name}
+        return target | free_vars(e.value, bound)
+    raise DigestError(f"cannot take free variables of {e!r}")
+
+
+def _module_exports(m: Module) -> set[str]:
+    """Names module ``m`` makes visible downstream: its provides (the
+    monitored rebindings of ``scv.engine._wrap_module``), its definitions
+    and opaque imports (plain ``letrec`` scope reaches later modules
+    too), and its struct bindings (bound in the global base heap)."""
+    names = {p.name for p in m.provides}
+    names |= {n for n, _ in m.definitions}
+    names |= {n for n, _ in m.opaques}
+    for sd in m.structs:
+        names.add(sd.name)
+        names.add(f"{sd.name}?")
+        names |= {f"{sd.name}-{f}" for f in sd.fields}
+    return names
+
+
+def _module_refs(m: Module) -> set[str]:
+    """Free variables of everything module ``m`` evaluates."""
+    local = _module_exports(m)
+    out: set[str] = set()
+    for _, ctc in m.opaques:
+        if ctc is not None:
+            out |= free_vars(ctc)
+    for _, e in m.definitions:
+        out |= free_vars(e)
+    for p in m.provides:
+        if p.contract is not None:
+            out |= free_vars(p.contract)
+    return out - local
+
+
+def module_dependencies(program: Program) -> list[set[int]]:
+    """For each module index, the indices of *earlier* modules it
+    (transitively) references.  Later modules are out of scope by the
+    ``letrec`` nesting of ``scv.engine.assemble``, so only backward
+    edges exist."""
+    exports = [_module_exports(m) for m in program.modules]
+    direct: list[set[int]] = []
+    for i, m in enumerate(program.modules):
+        refs = _module_refs(m)
+        direct.append({j for j in range(i) if refs & exports[j]})
+    closed: list[set[int]] = []
+    for i in range(len(program.modules)):
+        acc = set(direct[i])
+        work = list(direct[i])
+        while work:
+            j = work.pop()
+            for k in direct[j] - acc:
+                acc.add(k)
+                work.append(k)
+        closed.append(acc)
+    return closed
+
+
+#: Unit client markers (the ``client`` component of a store key).
+CLIENT_ALL = "all"  # whole program, demonic client over every provide
+CLIENT_MAIN = "main"  # top-level expression only, no demonic client
+CLIENT_MODULE = "mod:"  # + module name: client over that module's provides
+
+
+def module_slices(
+    program: Program,
+) -> Optional[list[tuple[str, Program, Optional[str]]]]:
+    """Decompose a program into independently verifiable units, or
+    ``None`` when it is a single unit (≤1 module and no separable main).
+
+    Each unit is ``(client_marker, slice_program, client_of)`` where the
+    slice contains exactly the modules the unit's code can reach and
+    ``client_of`` is the value for ``RunConfig.client_of``: a module
+    name (demonic client over that module's provides only), or ``""``
+    for the main unit (no demonic client).  The union of the units'
+    findings covers the whole program: every module is loaded and
+    havocked in its own unit, and inter-module misuse is already
+    blamed on the (ignored) client party by the monitored rebinding in
+    ``scv.engine._wrap_module``."""
+    mods = program.modules
+    n_units = len(mods) + (1 if program.main is not None else 0)
+    if n_units <= 1:
+        return None
+    deps = module_dependencies(program)
+    units: list[tuple[str, Program, Optional[str]]] = []
+    for i, m in enumerate(mods):
+        keep = sorted(deps[i] | {i})
+        slice_prog = Program(tuple(mods[j] for j in keep), None)
+        units.append((CLIENT_MODULE + m.name, slice_prog, m.name))
+    if program.main is not None:
+        exports = [_module_exports(m) for m in mods]
+        refs = free_vars(program.main)
+        direct = {j for j in range(len(mods)) if refs & exports[j]}
+        acc = set(direct)
+        work = list(direct)
+        while work:
+            j = work.pop()
+            for k in deps[j] - acc:
+                acc.add(k)
+                work.append(k)
+        keep = sorted(acc)
+        units.append(
+            (CLIENT_MAIN, Program(tuple(mods[j] for j in keep),
+                                  program.main), "")
+        )
+    return units

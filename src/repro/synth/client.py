@@ -83,10 +83,17 @@ class SynthesizedClient:
         return None if self.client is None else pp(self.client)
 
 
-def provide_names(program: Program) -> tuple[str, ...]:
-    """Every name the program provides, in boundary order — the
-    argument list of the demonic client."""
-    return tuple(p.name for m in program.modules for p in m.provides)
+def provide_names(
+    program: Program, client_of: Optional[str] = None
+) -> tuple[str, ...]:
+    """The names the demonic client received, in boundary order — its
+    argument list.  ``client_of`` mirrors
+    ``scv.engine.client_provides``: ``None`` for every module's
+    provides, a module name for that module's, ``""`` for none (the
+    persistent store's narrowed verification units)."""
+    from ..scv.engine import client_provides
+
+    return tuple(client_provides(program, client_of))
 
 
 def trivial_client(provides: tuple[str, ...]) -> ULam:
@@ -96,7 +103,7 @@ def trivial_client(provides: tuple[str, ...]) -> ULam:
 
 
 def synthesize_client(
-    program: Program, heap, recon
+    program: Program, heap, recon, *, client_of: Optional[str] = None
 ) -> Optional[SynthesizedClient]:
     """Reconstruct the demonic context from a blame-state ``heap`` under
     ``recon`` (an ``scv.counterexample.UReconstructor`` for that heap).
@@ -105,10 +112,13 @@ def synthesize_client(
     instantiated main *is* the executable counterexample), otherwise a
     :class:`SynthesizedClient` — falling back to the trivial client when
     the client location was never specialised or cannot be concretised.
+    ``client_of`` must match the narrowing the machine ran under
+    (``scv.engine.inject_program``): the client lambda's arity is the
+    narrowed provide count.
     """
     if not program.modules:
         return None
-    provides = provide_names(program)
+    provides = provide_names(program, client_of)
     if not provides:
         return SynthesizedClient(program, provides, None, True)
     client: Optional[ULam] = None

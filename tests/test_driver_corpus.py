@@ -118,7 +118,8 @@ PROGRAM_KEYS = {
     "proof_queries", "solver_queries", "pruned_states", "solver_cache_hits",
     "chained_steps", "solver_fresh_solves", "solver_incremental",
     "solver_clauses_reused", "solver_scope_depth", "errors_found",
-    "cex_attempts", "counterexample", "detail",
+    "cex_attempts", "store_hits", "store_misses", "modules_reverified",
+    "counterexample", "detail",
 }
 CEX_KEYS = {
     "bindings", "err_label", "err_op", "validated_core", "validated_conc",
@@ -129,7 +130,8 @@ TOTALS_KEYS = {
     "validated_counterexamples", "timeouts", "states_explored",
     "chained_steps", "pruned_states", "solver_queries",
     "solver_cache_hits", "solver_fresh_solves", "solver_incremental",
-    "solver_clauses_reused", "solver_scope_depth", "wall_ms",
+    "solver_clauses_reused", "solver_scope_depth", "store_hits",
+    "store_misses", "modules_reverified", "wall_ms",
 }
 AGREEMENT_KEYS = {
     "shared_programs", "agreed", "inconclusive", "disagreements",

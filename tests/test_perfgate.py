@@ -138,3 +138,80 @@ class TestMain:
         assert main([base, bad]) == 1
         assert main([base, bad, "--max-regress", "1.5"]) == 0
         assert main([str(tmp_path / "missing.json"), good]) == 2
+
+
+class TestSchemaValidation:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_unknown_schema_is_a_clear_failure(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {
+            "schema": "somebody-elses/v9",
+            "totals": {"states_explored": 100, "wall_ms": 1000},
+        })
+        fresh = _report(tmp_path, "fresh.json", 100, 1000)
+        assert main([base, fresh]) == 2
+        err = capsys.readouterr().err
+        assert "unrecognized report schema" in err
+        assert "Traceback" not in err
+
+    def test_future_schema_is_a_clear_failure(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {
+            "schema": "repro-bench/v999",
+            "totals": {"states_explored": 100, "wall_ms": 1000},
+        })
+        fresh = _report(tmp_path, "fresh.json", 100, 1000)
+        assert main([base, fresh]) == 2
+        assert "newer than this checkout" in capsys.readouterr().err
+
+    def test_missing_schema_is_a_clear_failure(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {
+            "totals": {"states_explored": 100, "wall_ms": 1000},
+        })
+        fresh = _report(tmp_path, "fresh.json", 100, 1000)
+        assert main([base, fresh]) == 2
+        assert "unrecognized report schema" in capsys.readouterr().err
+
+    def test_older_known_schema_still_gates(self, tmp_path):
+        # The fixture reports are schema v3: still accepted.
+        base = _report(tmp_path, "base.json", 100, 1000)
+        fresh = _report(tmp_path, "fresh.json", 100, 1000)
+        assert main([base, fresh]) == 0
+
+    def test_non_numeric_totals_fail_without_traceback(self):
+        lines = compare(
+            {"states_explored": "lots", "wall_ms": 1000},
+            {"states_explored": 100, "wall_ms": "fast"},
+            0.20,
+        )
+        assert any(line.startswith("SKIP states explored") for line in lines)
+        assert any(
+            line.startswith("FAIL") and "non-numeric" in line
+            for line in lines
+        )
+
+
+class TestWallThreshold:
+    def test_separate_wall_budget(self):
+        base = {"states_explored": 100, "wall_ms": 1000}
+        fresh = {"states_explored": 100, "wall_ms": 1400}
+        tight = compare(base, fresh, 0.20)
+        assert any(
+            line.startswith("FAIL") and "wall" in line for line in tight
+        )
+        loose = compare(base, fresh, 0.20, max_regress_wall=0.50)
+        assert not any(line.startswith("FAIL") for line in loose)
+        # ... without loosening the states budget.
+        drift = compare(base, {"states_explored": 130, "wall_ms": 1000},
+                        0.20, max_regress_wall=0.50)
+        assert any(
+            line.startswith("FAIL") and "states" in line for line in drift
+        )
+
+    def test_wall_flag_via_main(self, tmp_path):
+        base = _report(tmp_path, "base.json", 100, 1000)
+        slow = _report(tmp_path, "slow.json", 100, 1400)
+        assert main([base, slow]) == 1
+        assert main([base, slow, "--max-regress-wall", "0.5"]) == 0

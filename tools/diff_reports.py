@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Differential comparison of two bench reports.
+
+``python tools/diff_reports.py A.json B.json [--min-hit-rate 0.9]``
+
+Exit 1 unless the two reports are identical on everything that is
+deterministically reproducible:
+
+* every ``(name, backend)`` program row, minus the volatile fields
+  (``repro.driver.report.VOLATILE_ROW_FIELDS`` — timing, solver-economy
+  and store counters — the single source of truth CI and the tests
+  share);
+* the ``agreement`` section (cross-backend verdicts and counterexample
+  comparisons) verbatim.
+
+With ``--min-hit-rate`` the *second* report must additionally have
+answered at least that fraction of its verdict-store lookups from the
+store — the warm-start CI leg's economy assertion.
+
+Used by two CI legs: the incremental-solving differential (same corpus
+with ``--no-incremental``) and the warm-start differential (same corpus
+against a populated ``--store``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.driver.report import VOLATILE_ROW_FIELDS  # noqa: E402
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def stable_rows(report: dict) -> dict:
+    return {
+        (r["name"], r["backend"]): {
+            k: v for k, v in r.items() if k not in VOLATILE_ROW_FIELDS
+        }
+        for r in report["programs"]
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("a", help="reference report (e.g. the cold run)")
+    parser.add_argument("b", help="report under test (e.g. the warm run)")
+    parser.add_argument(
+        "--min-hit-rate", type=float, default=None, metavar="FRACTION",
+        help="require report B's verdict-store hit rate to be at least "
+        "this fraction of its lookups",
+    )
+    args = parser.parse_args(argv)
+    try:
+        a, b = load(args.a), load(args.b)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"diff_reports: {exc}", file=sys.stderr)
+        return 2
+
+    failed = False
+    rows_a, rows_b = stable_rows(a), stable_rows(b)
+    for key in sorted(set(rows_a) | set(rows_b)):
+        if rows_a.get(key) != rows_b.get(key):
+            failed = True
+            ra, rb = rows_a.get(key), rows_b.get(key)
+            if ra is None or rb is None:
+                print(f"DIFF {key}: only in "
+                      f"{args.a if rb is None else args.b}", file=sys.stderr)
+                continue
+            fields = sorted(
+                k for k in set(ra) | set(rb) if ra.get(k) != rb.get(k)
+            )
+            print(f"DIFF {key}: {', '.join(fields)}", file=sys.stderr)
+            for f in fields:
+                print(f"  {f}: {ra.get(f)!r} != {rb.get(f)!r}",
+                      file=sys.stderr)
+    if a.get("agreement") != b.get("agreement"):
+        failed = True
+        print("DIFF agreement sections differ", file=sys.stderr)
+    if not failed:
+        print(f"{len(rows_a)} rows identical (volatile fields aside); "
+              "agreement sections identical")
+
+    if args.min_hit_rate is not None:
+        t = b["totals"]
+        hits, misses = t.get("store_hits", 0), t.get("store_misses", 0)
+        lookups = hits + misses
+        rate = hits / lookups if lookups else 0.0
+        if rate < args.min_hit_rate:
+            failed = True
+            print(
+                f"FAIL store hit rate {rate:.1%} ({hits}/{lookups}) below "
+                f"the {args.min_hit_rate:.0%} floor", file=sys.stderr,
+            )
+        else:
+            print(f"store hit rate {rate:.1%} ({hits}/{lookups})")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
