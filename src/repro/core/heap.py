@@ -21,7 +21,6 @@ execution itself decomposes complex predicates.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -227,12 +226,15 @@ class SCase(Storeable):
 # The heap
 # ---------------------------------------------------------------------------
 
-_loc_counter = itertools.count()
+_loc_counter = 0
 
 
 def fresh_loc(prefix: str = "L") -> Loc:
     """A globally fresh heap location."""
-    return Loc(f"{prefix}{next(_loc_counter)}")
+    global _loc_counter
+    loc = Loc(f"{prefix}{_loc_counter}")
+    _loc_counter += 1
+    return loc
 
 
 def reset_locs() -> None:
@@ -243,7 +245,26 @@ def reset_locs() -> None:
     model choices — do not depend on what else ran in the same process.
     """
     global _loc_counter
-    _loc_counter = itertools.count()
+    _loc_counter = 0
+
+
+def current_loc_counter() -> int:
+    """The next location number ``fresh_loc`` would mint.
+
+    States record this (``loc_base``) so the machines can rewind the
+    counter before stepping: location names become a pure function of
+    the path from the initial state, independent of the order in which
+    the search — sequential or sharded across processes — interleaves
+    sibling branches.
+    """
+    return _loc_counter
+
+
+def set_loc_counter(n: int) -> None:
+    """Rewind/advance the location counter to ``n`` (see
+    :func:`current_loc_counter`)."""
+    global _loc_counter
+    _loc_counter = n
 
 
 class Heap:

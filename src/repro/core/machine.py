@@ -30,7 +30,15 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .delta import delta
-from .heap import Heap, SCase, SLam, SNum, SOpq
+from .heap import (
+    Heap,
+    SCase,
+    SLam,
+    SNum,
+    SOpq,
+    current_loc_counter,
+    set_loc_counter,
+)
 from .proof import ProofSystem
 from .syntax import (
     App,
@@ -56,6 +64,13 @@ class State:
 
     control: Expr
     heap: Heap
+    # The location-counter value this state was created under.  ``step``
+    # rewinds the global ``fresh_loc`` counter to this before reducing,
+    # making location names a pure function of the path from the initial
+    # state — independent of search order, and hence identical whether
+    # the frontier is explored sequentially or sharded across processes.
+    # Excluded from fingerprints (which rename locations anyway).
+    loc_base: int = 0
 
     @property
     def is_answer(self) -> bool:
@@ -76,7 +91,7 @@ class StuckError(Exception):
 
 def inject(program: Expr) -> State:
     """The initial state for a closed program."""
-    return State(program, Heap.empty())
+    return State(program, Heap.empty(), current_loc_counter())
 
 
 def _opq_loc(label: str) -> Loc:
@@ -103,8 +118,10 @@ class Machine:
         """Successor states, or None when ``state`` is an answer."""
         if state.is_answer:
             return None
+        set_loc_counter(state.loc_base)
         succs = self._reduce(state.control, state.heap)
-        return [State(e, h) for e, h in succs]
+        base = current_loc_counter()
+        return [State(e, h, base) for e, h in succs]
 
     # -- redex search (contextual closure, rule Close) ----------------------
 

@@ -36,6 +36,12 @@ class SearchStats:
     pruned: int = 0  # states dropped by fingerprint memoisation
     chained: int = 0  # deterministic micro-steps folded into macro states
     truncated: bool = False
+    # Sharded-search extras (see repro.search.parallel); scheduling-
+    # dependent, reported as volatile fields.
+    shards: int = 1
+    stolen_tasks: int = 0
+    frontier_exchanges: int = 0
+    shard_states: tuple = ()
 
 
 @dataclass
@@ -62,23 +68,47 @@ def explore(
     stats: Optional[SearchStats] = None,
     strategy: str = "bfs",
     memo: bool = True,
+    shards: int = 1,
 ) -> Iterator[SearchResult]:
     """Search over ⟨E, Σ⟩ states, yielding answers (locations and
-    errors) in ``strategy`` order."""
+    errors) in ``strategy`` order.  ``shards > 1`` partitions the bfs
+    frontier across forked worker processes (``repro.search.parallel``)
+    with byte-identical output; it requires memoisation (states are
+    routed by fingerprint) and falls back to the sequential kernel for
+    other strategies or where forking is unavailable."""
     # Imported lazily: repro.search.fingerprint imports repro.core at
     # module level, so a module-level import here would be circular.
-    from ..search import CoreFingerprinter, SearchKernel
+    from ..search import CoreFingerprinter, SearchKernel, ShardedSearch
 
     m = machine or Machine()
     st = stats if stats is not None else SearchStats()
-    kernel = SearchKernel(
-        m.step,
-        strategy=strategy,
-        fingerprint=CoreFingerprinter() if memo else None,
-        max_states=max_states,
-        enter=m.proof.note_path,  # per-path solver context follows the search
-        stats=st,
-    )
+    if shards > 1 and strategy == "bfs" and memo:
+        proof = m.proof
+        kernel = ShardedSearch(
+            m.step,
+            shards=shards,
+            fingerprint=CoreFingerprinter(),
+            max_states=max_states,
+            enter=proof.note_path,
+            stats=st,
+            # Workers report the proof system's deterministic counters
+            # per expanded state; the parent replays them in global bfs
+            # order so the caller's proof object shows sequential counts.
+            counter_probe=lambda: (proof.queries, proof.solver_queries),
+            counter_sink=lambda c: (
+                setattr(proof, "queries", c[0]),
+                setattr(proof, "solver_queries", c[1]),
+            ),
+        )
+    else:
+        kernel = SearchKernel(
+            m.step,
+            strategy=strategy,
+            fingerprint=CoreFingerprinter() if memo else None,
+            max_states=max_states,
+            enter=m.proof.note_path,  # per-path solver context follows the search
+            stats=st,
+        )
     for state in kernel.run(inject(program)):
         if state.is_error:
             st.errors += 1
@@ -93,11 +123,12 @@ def find_errors(
     stats: Optional[SearchStats] = None,
     strategy: str = "bfs",
     memo: bool = True,
+    shards: int = 1,
 ) -> Iterator[SearchResult]:
     """Yield only the error answers reachable from ``program``."""
     for r in explore(
         program, machine=machine, max_states=max_states, stats=stats,
-        strategy=strategy, memo=memo,
+        strategy=strategy, memo=memo, shards=shards,
     ):
         if r.is_error:
             yield r

@@ -71,6 +71,15 @@ def _add_budget_flags(p: argparse.ArgumentParser) -> None:
         "(default bfs)",
     )
     p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition each program's bfs frontier across N forked "
+        "worker processes with a deterministic merge (byte-identical "
+        "verdicts and counterexamples; see docs/ARCHITECTURE.md). "
+        "Default: the REPRO_SHARDS environment variable, else 1. "
+        "Ignored by batch-runner pool workers when --jobs > 1 (the pool "
+        "is already saturating cores and its workers cannot fork)",
+    )
+    p.add_argument(
         "--no-memo", action="store_true",
         help="disable state-fingerprint memoisation and the solver-query "
         "cache (the pre-kernel micro-step search; for A/B comparison)",
@@ -106,6 +115,16 @@ def _store_dir(args: argparse.Namespace):
     return os.environ.get("REPRO_STORE") or None
 
 
+def _shards(args: argparse.Namespace) -> int:
+    """Resolve the shard count: --shards N > $REPRO_SHARDS > 1."""
+    if args.shards is not None:
+        return max(1, args.shards)
+    try:
+        return max(1, int(os.environ.get("REPRO_SHARDS", "") or 1))
+    except ValueError:
+        return 1
+
+
 def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
     return RunConfig(
         max_states=args.max_states,
@@ -117,6 +136,7 @@ def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
         memo=not args.no_memo,
         incremental=not args.no_incremental,
         store_dir=_store_dir(args),
+        shards=_shards(args),
     )
 
 

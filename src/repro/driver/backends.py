@@ -95,6 +95,7 @@ class RunConfig:
     incremental: bool = True  # per-path incremental solver contexts
     store_dir: Optional[str] = None  # persistent store root (None: no store)
     client_of: Optional[str] = None  # narrow the demonic client (repro.store)
+    shards: int = 1  # in-program frontier shards (repro.search.parallel)
 
 
 class _Deadline(Exception):
@@ -231,6 +232,10 @@ class TypedCoreBackend:
                 solver_queries=proof.solver_queries,
                 pruned=stats.pruned,
                 chained=stats.chained,
+                shards=stats.shards,
+                stolen_tasks=stats.stolen_tasks,
+                frontier_exchanges=stats.frontier_exchanges,
+                shard_states=list(stats.shard_states),
                 **kw,
             )
 
@@ -250,6 +255,7 @@ class TypedCoreBackend:
                 for result in find_errors(
                     core, machine=machine, max_states=cfg.max_states,
                     stats=stats, strategy=cfg.strategy, memo=cfg.memo,
+                    shards=cfg.shards,
                 ):
                     errors_found += 1
                     if attempts >= cfg.max_cex_attempts:
@@ -379,6 +385,10 @@ class UntypedScvBackend:
                 solver_queries=solver_queries,
                 pruned=stats.pruned,
                 chained=stats.chained,
+                shards=stats.shards,
+                stolen_tasks=stats.stolen_tasks,
+                frontier_exchanges=stats.frontier_exchanges,
+                shard_states=list(stats.shard_states),
                 **kw,
             )
 
@@ -401,7 +411,7 @@ class UntypedScvBackend:
                                       client_of=cfg.client_of)
                 for blame_state in find_known_blames(
                     init, machine, max_states=cfg.max_states, stats=stats,
-                    strategy=cfg.strategy, memo=cfg.memo,
+                    strategy=cfg.strategy, memo=cfg.memo, shards=cfg.shards,
                 ):
                     errors_found += 1
                     if attempts >= cfg.max_cex_attempts:

@@ -7,8 +7,8 @@ serialised as ``BENCH_driver.json``.  The JSON shape is versioned
 of the benchmark file are meaningful and the perf trajectory can be
 tracked across commits.
 
-Schema ``repro-bench/v6`` (the persistent-store revision; supersedes
-the incremental-solving ``v5``):
+Schema ``repro-bench/v7`` (the sharded-search revision; supersedes the
+persistent-store ``v6``):
 
 * every program row carries a ``backend`` field (``core`` or ``scv``);
 * rows and totals carry the search kernel's economy counters:
@@ -56,7 +56,20 @@ the incremental-solving ``v5``):
   programs where both backends exhibit counterexamples, the normalized
   counterexamples (canonical ``err_op``, canonical scalar bindings —
   see the two ``counterexample`` modules) are compared field by field
-  under ``agreement.counterexamples``.
+  under ``agreement.counterexamples``;
+* new in v7 — the sharded-search counters from
+  :mod:`repro.search.parallel`: per row, ``shards`` (frontier shards
+  the search ran with; 1 for the sequential kernel), ``stolen_tasks``
+  (expansion chunks reassigned away from their home shard),
+  ``frontier_exchanges`` (successor states routed to a different shard
+  than the one that generated them), and ``shard_states`` (per-shard
+  expanded-state counts).  All four are *volatile*: sharding is
+  required to be invisible in every other field — a sharded row must
+  be byte-identical to its sequential twin outside the volatile set —
+  while these four describe the scheduling itself.  Totals sum the
+  counters (not ``shards``/``shard_states``) and gain ``max_wall_ms``,
+  the slowest single program row — the metric in-program sharding
+  exists to shrink, gated by ``perfgate`` alongside the totals.
 """
 
 from __future__ import annotations
@@ -65,7 +78,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-SCHEMA = "repro-bench/v6"
+SCHEMA = "repro-bench/v7"
 
 # Terminal statuses a verification attempt can end in.
 STATUS_SAFE = "safe"  # search exhausted, no (modelable) error
@@ -95,6 +108,13 @@ VOLATILE_ROW_FIELDS = frozenset({
     "store_hits",
     "store_misses",
     "modules_reverified",
+    # The sharded-search scheduling counters (repro.search.parallel): a
+    # sharded run must agree with the sequential run on everything
+    # *except* how the work was distributed.
+    "shards",
+    "stolen_tasks",
+    "frontier_exchanges",
+    "shard_states",
 })
 
 
@@ -149,6 +169,10 @@ class ProgramResult:
     store_hits: int = 0  # verification units replayed from the store
     store_misses: int = 0  # units the store did not hold
     modules_reverified: int = 0  # units actually recomputed this run
+    shards: int = 1  # frontier shards the search ran with
+    stolen_tasks: int = 0  # expansion chunks reassigned between shards
+    frontier_exchanges: int = 0  # successors routed to a different shard
+    shard_states: list = field(default_factory=list)  # per-shard expansions
     counterexample: Optional[CexReport] = None
     detail: str = ""
 
@@ -199,7 +223,13 @@ def _totals(results: list[ProgramResult]) -> dict:
         "store_hits": sum(r.store_hits for r in results),
         "store_misses": sum(r.store_misses for r in results),
         "modules_reverified": sum(r.modules_reverified for r in results),
+        "stolen_tasks": sum(r.stolen_tasks for r in results),
+        "frontier_exchanges": sum(r.frontier_exchanges for r in results),
         "wall_ms": round(sum(r.wall_ms for r in results), 1),
+        # The slowest single program row: the wall-clock target of
+        # in-program sharding (ROADMAP: "the wall-clock of the slowest
+        # path, not the sum of all paths").
+        "max_wall_ms": round(max((r.wall_ms for r in results), default=0.0), 1),
     }
 
 

@@ -54,7 +54,16 @@ from .heap import (
     UPrim,
     UStructCtor,
 )
-from .machine import Blame, MEnv, SMachine, SState, UMon, syn_label
+from ..core.heap import current_loc_counter
+from .machine import (
+    Blame,
+    MEnv,
+    SMachine,
+    SState,
+    UMon,
+    current_syn_counter,
+    syn_label,
+)
 
 #: The blame party of the synthesised demonic client.  Starts with "•"
 #: so that contract violations *by the client* are the unknown context's
@@ -204,7 +213,12 @@ def inject_program(
         heap = heap.set(
             Loc(f"o:{CLIENT_LABEL}"), UOpq(frozenset({TAG_PROCEDURE}))
         )
-    return SState(assemble(program, client_of), env, heap.frozen(), ())
+    # Stamp the counter bases so machine-minted labels/locations are a
+    # pure function of the path from here (see SState.syn_base).
+    return SState(
+        assemble(program, client_of), env, heap.frozen(), (),
+        0, current_syn_counter(), current_loc_counter(),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -221,6 +235,12 @@ class USearchStats:
     pruned: int = 0  # states dropped by fingerprint memoisation
     chained: int = 0  # deterministic micro-steps folded into macro states
     truncated: bool = False
+    # Sharded-search extras (see repro.search.parallel); scheduling-
+    # dependent, reported as volatile fields.
+    shards: int = 1
+    stolen_tasks: int = 0
+    frontier_exchanges: int = 0
+    shard_states: tuple = ()
 
 
 def explore_u(
@@ -231,23 +251,43 @@ def explore_u(
     stats: Optional[USearchStats] = None,
     strategy: str = "bfs",
     memo: bool = True,
+    shards: int = 1,
 ) -> Iterator[SState]:
     """Search over machine states, yielding answer states (values and
     blame) in ``strategy`` order; ``memo=False`` disables fingerprint
-    pruning (the exact pre-kernel behaviour)."""
+    pruning (the exact pre-kernel behaviour).  ``shards > 1`` runs the
+    bfs frontier sharded across forked processes
+    (``repro.search.parallel``) with byte-identical output; requires
+    memoisation, falls back to sequential otherwise."""
     # Imported lazily: repro.search.fingerprint imports this package at
     # module level, so a module-level import here would be circular.
-    from ..search import ScvFingerprinter, SearchKernel
+    from ..search import ScvFingerprinter, SearchKernel, ShardedSearch
 
     st = stats if stats is not None else USearchStats()
-    kernel = SearchKernel(
-        machine.step,
-        strategy=strategy,
-        fingerprint=ScvFingerprinter() if memo else None,
-        max_states=max_states,
-        enter=machine.proof.note_path,  # per-path solver context hook
-        stats=st,
-    )
+    if shards > 1 and strategy == "bfs" and memo:
+        proof = machine.proof
+        kernel = ShardedSearch(
+            machine.step,
+            shards=shards,
+            fingerprint=ScvFingerprinter(),
+            max_states=max_states,
+            enter=proof.note_path,
+            stats=st,
+            counter_probe=lambda: (proof.queries, proof.solver_queries),
+            counter_sink=lambda c: (
+                setattr(proof, "queries", c[0]),
+                setattr(proof, "solver_queries", c[1]),
+            ),
+        )
+    else:
+        kernel = SearchKernel(
+            machine.step,
+            strategy=strategy,
+            fingerprint=ScvFingerprinter() if memo else None,
+            max_states=max_states,
+            enter=machine.proof.note_path,  # per-path solver context hook
+            stats=st,
+        )
     for state in kernel.run(init):
         if isinstance(state.control, Blame):
             st.blames += 1
@@ -264,12 +304,13 @@ def find_known_blames(
     stats: Optional[USearchStats] = None,
     strategy: str = "bfs",
     memo: bool = True,
+    shards: int = 1,
 ) -> Iterator[SState]:
     """Answer states blaming *known* code — errors from the unknown
     context (synthetic labels, ``•`` parties) are not findings."""
     for state in explore_u(
         init, machine, max_states=max_states, stats=stats,
-        strategy=strategy, memo=memo,
+        strategy=strategy, memo=memo, shards=shards,
     ):
         c = state.control
         if isinstance(c, Blame) and c.known:

@@ -28,11 +28,10 @@ Design notes mirroring the paper:
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Union
 
-from ..core.heap import PNot
+from ..core.heap import PNot, current_loc_counter, set_loc_counter
 from ..core.syntax import Loc
 from ..lang.ast import (
     Quote,
@@ -69,12 +68,15 @@ from .heap import (
     struct_tag,
 )
 
-_syn_counter = itertools.count()
+_syn_counter = 0
 
 
 def syn_label(prefix: str = "syn") -> str:
     """A synthetic label — blame carrying it is *unknown-code* blame."""
-    return f"{prefix}:{next(_syn_counter)}"
+    global _syn_counter
+    label = f"{prefix}:{_syn_counter}"
+    _syn_counter += 1
+    return label
 
 
 def reset_syn_labels() -> None:
@@ -82,7 +84,25 @@ def reset_syn_labels() -> None:
     program; the batch driver resets between programs so report rows
     do not depend on what else ran in the same worker process."""
     global _syn_counter
-    _syn_counter = itertools.count()
+    _syn_counter = 0
+
+
+def current_syn_counter() -> int:
+    """The next number ``syn_label`` would mint.  States record this
+    (``syn_base``) so ``SMachine.step`` can rewind the counter before
+    stepping: machine-minted labels ('hv:N', 'mon:N', …) become a pure
+    function of the path from the initial state, independent of the
+    order in which the search interleaves sibling branches — the
+    invariant that lets a sharded search report byte-identical blame
+    labels to the sequential one."""
+    return _syn_counter
+
+
+def set_syn_counter(n: int) -> None:
+    """Rewind/advance the synthetic-label counter to ``n`` (see
+    :func:`current_syn_counter`)."""
+    global _syn_counter
+    _syn_counter = n
 
 
 def is_known_label(label: str) -> bool:
@@ -260,6 +280,13 @@ class SState:
     # Search-heuristic metadata (§5.3): how many opaque-expansion steps
     # this path has taken — "input generation effort".
     gen_effort: int = 0
+    # Counter bases this state was created under: the machine rewinds
+    # the global synthetic-label and location counters to these before
+    # stepping, so minted names depend only on the path from the initial
+    # state — never on search order.  Both are excluded from
+    # fingerprints, like ``gen_effort``.
+    syn_base: int = 0
+    loc_base: int = 0
 
     @property
     def is_answer(self) -> bool:
@@ -319,9 +346,17 @@ class SMachine:
         c = st.control
         if isinstance(c, Blame):  # pragma: no cover - answers caught above
             return None
+        # Rewind the global counters to this state's bases so every name
+        # minted while stepping depends only on the path, then stamp the
+        # successors with the post-step values.
+        set_syn_counter(st.syn_base)
+        set_loc_counter(st.loc_base)
         if isinstance(c, Loc):
-            return self._plug(c, st)
-        return self._eval(c, st)
+            succs = self._plug(c, st)
+        else:
+            succs = self._eval(c, st)
+        syn, loc = current_syn_counter(), current_loc_counter()
+        return [replace(s, syn_base=syn, loc_base=loc) for s in succs]
 
     # -- evaluation ------------------------------------------------------
 

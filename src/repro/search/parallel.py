@@ -1,0 +1,536 @@
+"""The sharded frontier engine: one symbolic search, many processes.
+
+:class:`ShardedSearch` explores the same transition system as
+:class:`~repro.search.kernel.SearchKernel` (bfs strategy, memoisation
+on) with the frontier partitioned across N forked worker processes —
+and produces *byte-identical* output: the same answers in the same
+order, with the same non-volatile statistics.  Parallelism must be
+invisible because the driver's verdicts and counterexamples are the
+product (Theorem 1), not a best-effort approximation.
+
+How the determinism argument goes:
+
+* **Level-synchronised BFS.**  The search proceeds level by level.
+  Within a level, states are identified by their *path* — the tuple of
+  successor indices from the root — and sequential BFS pops exactly the
+  states of level d in lexicographic path order before any state of
+  level d+1.  The parent replays that order when it accounts results,
+  so budget cut-offs, truncation and answer order land exactly where
+  the sequential kernel would put them.
+
+* **Sharded admission.**  Dedup and subsumption are *shape-local*: the
+  kernel's seen-set is exact identity on fingerprints and its
+  subsumption shelf only ever compares fingerprints with the same
+  ``shape``.  Routing every candidate to the worker that owns
+  ``hash(shape) % N`` therefore keeps both checks exact — all
+  same-shape candidates meet in one worker, in one per-level batch,
+  sorted by path, which is precisely the order the sequential kernel
+  admits them in.  (Fork inheritance makes ``hash`` of the interned
+  shape tuples consistent across the run's processes: children share
+  the parent's string-hash seed.)
+
+* **Path-determined states.**  The machines thread their global
+  counters through the states (``loc_base`` / ``syn_base``), so a
+  state's contents — heap location names, machine-minted blame labels —
+  are a pure function of its path, never of which worker stepped it or
+  when.  Identical paths yield identical pickled states in any
+  schedule.
+
+* **Chain compression stays whole.**  Deterministic chains are run to
+  their next choice point *inside the expanding worker*, exactly as the
+  sequential kernel does in ``_expand``; a chain is never cut at a
+  shard boundary, so ``states_explored`` counts the same macro states
+  under any partitioning.
+
+* **Prefix accounting.**  Workers report, per expanded state, the
+  deterministic deltas (chained micro-steps, proof-counter increments)
+  and the parent folds them in global BFS order, updating the caller's
+  stats *at each yield* to the exact value the sequential kernel would
+  show there.  A consumer that abandons the iterator mid-run (the
+  driver stops at the first validated counterexample) still observes
+  sequential-identical counters.  Genuinely schedule-dependent counts —
+  ``stolen_tasks``, ``frontier_exchanges``, per-shard state counts, the
+  solver-economy numbers — are reported via fields the bench report
+  declares volatile.
+
+* **Shared solver tier.**  Workers point the process-global
+  ``smt.cache.solver_cache`` at a per-run
+  :class:`~repro.store.solver.SolverStore` directory (unless a
+  persistent store is already attached): each worker flushes its fresh
+  decisive results after every expansion chunk and re-reads sibling
+  shards at the next level barrier, so one shard's solve is every
+  shard's cache hit.  UNKNOWN results are never published (the cache's
+  ``put`` guard), and entries are pure functions of the canonical
+  formula, so sharing can change speed but never answers.
+
+Work distribution is parent-brokered: expansion tasks are dispatched in
+path-ordered chunks, preferentially to the worker that admitted them
+(their home shard); when a worker runs dry it *steals* the tail chunk
+of the largest remaining home queue.  A seeded jitter hook randomises
+dispatch and steal order — the determinism stress test runs the same
+search under twenty schedules and expects one answer stream.
+
+When forking is unavailable — a non-POSIX platform, or the current
+process is itself a daemonic pool worker (the batch runner's workers
+cannot fork children) — the engine falls back to the sequential kernel,
+which by the argument above changes nothing but the wall clock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import random
+import shutil
+import tempfile
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from .kernel import KernelStats, SearchKernel
+
+
+@dataclass
+class ShardStats(KernelStats):
+    """KernelStats plus the sharding-specific (volatile) counters."""
+
+    shards: int = 1
+    stolen_tasks: int = 0
+    frontier_exchanges: int = 0
+    shard_states: tuple = ()
+
+
+_STAT_EXTRAS = ("shards", "stolen_tasks", "frontier_exchanges", "shard_states")
+
+
+def _set_extras(stats, shards, stolen, exchanges, per_shard) -> None:
+    values = (shards, stolen, exchanges, tuple(per_shard))
+    for name, value in zip(_STAT_EXTRAS, values):
+        if hasattr(stats, name):
+            setattr(stats, name, value)
+
+
+def fork_available() -> bool:
+    """Can this process host a sharded search?  Requires the ``fork``
+    start method (workers must inherit the machine, the fingerprint
+    interner and the string-hash seed) and a non-daemonic parent
+    (daemonic pool workers may not have children)."""
+    if "fork" not in mp.get_all_start_methods():
+        return False
+    return not mp.current_process().daemon
+
+
+class _WorkerFailure(Exception):
+    """Re-raised parent-side with the original exception's name, so the
+    driver's ``detail`` strings match the sequential run's."""
+
+
+def _rebuild_exception(type_name: str, message: str) -> BaseException:
+    exc_type = type(type_name, (RuntimeError,), {})
+    return exc_type(message)
+
+
+@dataclass
+class _Record:
+    """One expanded state, as reported by a worker."""
+
+    path: tuple
+    wid: int
+    chained: int = 0
+    deltas: tuple = ()
+    answer: object = None
+    is_answer: bool = False
+    succs: list = field(default_factory=list)  # [(path, fp, home, state)]
+    error: Optional[tuple[str, str]] = None  # (type name, message)
+
+
+class ShardedSearch:
+    """Drop-in replacement for ``SearchKernel`` (bfs + memo) that
+    partitions the frontier across ``shards`` forked workers.
+
+    Parameters mirror the kernel's; the additions are:
+
+    * ``counter_probe`` — zero-arg callable run *in the worker* after
+      each expansion, returning a tuple of cumulative deterministic
+      counters (the proof system's ``queries``/``solver_queries``);
+    * ``counter_sink`` — callable run *in the parent* with the
+      prefix-summed counter tuple at every yield (and at exhaustion),
+      so the caller's proof object shows sequential-identical counts;
+    * ``jitter`` — optional seed for the scheduling-jitter hook: chunk
+      dispatch and steal order are shuffled pseudo-randomly.  Output
+      must not change; the stress test pins that.
+    """
+
+    def __init__(
+        self,
+        step: Callable,
+        *,
+        shards: int,
+        fingerprint: Callable,
+        subsume: bool = True,
+        chain_limit: int = 128,
+        max_states: int = 50_000,
+        enter: Optional[Callable] = None,
+        stats=None,
+        counter_probe: Optional[Callable] = None,
+        counter_sink: Optional[Callable] = None,
+        jitter: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if fingerprint is None:
+            raise ValueError("sharded search requires a fingerprinter "
+                             "(states are routed by fingerprint shape)")
+        self.step = step
+        self.shards = shards
+        self.fingerprint = fingerprint
+        self.subsume = subsume
+        self.chain_limit = chain_limit
+        self.max_states = max_states
+        self.enter = enter
+        self.stats = stats if stats is not None else ShardStats()
+        self.counter_probe = counter_probe
+        self.counter_sink = counter_sink
+        self._jitter = random.Random(jitter) if jitter is not None else None
+        self._chunk_size = chunk_size
+
+    # -- public ----------------------------------------------------------
+
+    def run(self, init) -> Iterator:
+        """Explore from ``init``, yielding answer states in exact
+        sequential BFS order."""
+        if self.shards <= 1 or not fork_available():
+            yield from self._run_sequential(init)
+            return
+        yield from self._run_sharded(init)
+
+    # -- fallback --------------------------------------------------------
+
+    def _run_sequential(self, init) -> Iterator:
+        kernel = SearchKernel(
+            self.step,
+            strategy="bfs",
+            fingerprint=self.fingerprint,
+            subsume=self.subsume,
+            chain_limit=self.chain_limit,
+            max_states=self.max_states,
+            enter=self.enter,
+            stats=self.stats,
+        )
+        _set_extras(self.stats, 1, 0, 0, ())
+        yield from kernel.run(init)
+
+    # -- the sharded engine ---------------------------------------------
+
+    def _run_sharded(self, init) -> Iterator:
+        st = self.stats
+        n = self.shards
+        ctx = mp.get_context("fork")
+        out_q = ctx.Queue()
+        in_qs = [ctx.Queue() for _ in range(n)]
+
+        # Per-run solver tier: workers attach the process-global cache's
+        # backing to this directory post-fork, unless the driver already
+        # attached a persistent store (then they share that instead).
+        from ..smt import solver_cache
+
+        own_store = solver_cache.backing is None
+        store_dir = tempfile.mkdtemp(prefix="repro-shards-") if own_store \
+            else None
+
+        workers = [
+            ctx.Process(
+                target=self._worker_main,
+                args=(wid, in_qs[wid], out_q, store_dir),
+                daemon=True,
+            )
+            for wid in range(n)
+        ]
+        for w in workers:
+            w.start()
+
+        stolen = 0
+        exchanges = 0
+        per_shard = [0] * n
+        cum: Optional[tuple] = None  # prefix-summed counter tuple
+        try:
+            fp = self.fingerprint(init)
+            # Admit the root at its home shard (so later states equal to
+            # it are pruned there), then run the level loop.
+            root_home = 0
+            if fp is not None:
+                root_home = hash(fp.shape) % n
+                in_qs[root_home].put(("admit", [((), fp)]))
+                msg = out_q.get()
+                if msg[0] == "crashed":
+                    raise _WorkerFailure(
+                        f"shard worker {msg[1]} crashed:\n{msg[2]}"
+                    )
+                assert msg[0] == "admitted" and msg[2] == [()]
+            # Level entries: (path, state, home shard).
+            level: list[tuple[tuple, object, int]] = [((), init, root_home)]
+
+            while level:
+                allowed = self.max_states - st.states_explored
+                if allowed <= 0:
+                    st.truncated = True
+                    return
+                expand_list = level[:allowed]
+                leftover = len(level) - len(expand_list)
+
+                # -- expand phase (dynamic chunked dispatch + stealing)
+                records, srec = self._expand_level(
+                    expand_list, in_qs, out_q, per_shard
+                )
+                stolen += srec
+
+                # -- admit phase: all of this level's successors, one
+                # sorted batch per home worker (exactly the sequential
+                # admission order restricted to each shape).
+                candidates = []  # (path, fp, home, state, wid_gen)
+                for rec in records.values():
+                    for path, cfp, home, state in rec.succs:
+                        candidates.append((path, cfp, home, state, rec.wid))
+                        if cfp is not None and home != rec.wid:
+                            exchanges += 1
+                candidates.sort(key=lambda c: c[0])
+                admitted_paths = self._admit_level(candidates, in_qs, out_q)
+                prunes: dict[tuple, int] = {}
+                next_level = []
+                for path, cfp, home, state, _gen in candidates:
+                    if cfp is None or path in admitted_paths:
+                        next_level.append((path, state, home))
+                    else:
+                        parent = path[:-1]
+                        prunes[parent] = prunes.get(parent, 0) + 1
+
+                # -- yield phase: replay global BFS order with prefix
+                # accounting, so every yield shows sequential counters.
+                for path, _state, _home in expand_list:
+                    rec = records[path]
+                    st.states_explored += 1
+                    st.chained += rec.chained
+                    if rec.deltas:
+                        cum = rec.deltas if cum is None else tuple(
+                            a + b for a, b in zip(cum, rec.deltas)
+                        )
+                    if rec.error is not None:
+                        if self.counter_sink is not None and cum is not None:
+                            self.counter_sink(cum)
+                        _set_extras(st, n, stolen, exchanges, per_shard)
+                        raise _rebuild_exception(*rec.error)
+                    if rec.is_answer:
+                        st.answers += 1
+                        if self.counter_sink is not None and cum is not None:
+                            self.counter_sink(cum)
+                        _set_extras(st, n, stolen, exchanges, per_shard)
+                        yield rec.answer
+                    else:
+                        st.pruned += prunes.get(path, 0)
+
+                if leftover:
+                    # Sequential semantics: the budget expired at pop
+                    # time with work remaining (the unexpanded tail plus
+                    # whatever was admitted above).
+                    st.truncated = True
+                    return
+                level = next_level
+        finally:
+            if self.counter_sink is not None and cum is not None:
+                self.counter_sink(cum)
+            _set_extras(st, n, stolen, exchanges, per_shard)
+            self._shutdown(workers, in_qs, out_q)
+            if store_dir is not None:
+                shutil.rmtree(store_dir, ignore_errors=True)
+
+    # -- parent: level phases -------------------------------------------
+
+    def _expand_level(self, expand_list, in_qs, out_q, per_shard):
+        """Dispatch one level's expansions in chunks, stealing between
+        home queues to keep workers busy.  Returns (records by path,
+        tasks stolen)."""
+        n = self.shards
+        total = len(expand_list)
+        chunk = self._chunk_size or max(1, -(-total // (n * 4)))
+        home_qs: list[deque] = [deque() for _ in range(n)]
+        for path, state, home in expand_list:
+            home_qs[home].append((path, state))
+        stolen = 0
+        outstanding = 0
+        records: dict[tuple, _Record] = {}
+
+        def next_chunk(wid):
+            nonlocal stolen
+            q = home_qs[wid]
+            was_stolen = False
+            if not q:
+                donors = [u for u in range(n) if home_qs[u]]
+                if not donors:
+                    return None
+                if self._jitter is not None:
+                    self._jitter.shuffle(donors)
+                donors.sort(key=lambda u: -len(home_qs[u]))
+                q = home_qs[donors[0]]
+                was_stolen = True
+            take = min(chunk, len(q))
+            if was_stolen:
+                # steal from the tail: the donor keeps its earliest paths
+                batch = [q.pop() for _ in range(take)][::-1]
+                stolen += take
+            else:
+                batch = [q.popleft() for _ in range(take)]
+            return batch
+
+        order = list(range(n))
+        if self._jitter is not None:
+            self._jitter.shuffle(order)
+        for wid in order:
+            batch = next_chunk(wid)
+            if batch is not None:
+                in_qs[wid].put(("expand", batch))
+                outstanding += 1
+        while outstanding:
+            msg = out_q.get()
+            kind, wid = msg[0], msg[1]
+            if kind == "crashed":
+                raise _WorkerFailure(
+                    f"shard worker {wid} crashed:\n{msg[2]}"
+                )
+            assert kind == "results"
+            outstanding -= 1
+            for raw in msg[2]:
+                rec = _Record(*raw)
+                records[rec.path] = rec
+                per_shard[wid] += 1
+            batch = next_chunk(wid)
+            if batch is not None:
+                in_qs[wid].put(("expand", batch))
+                outstanding += 1
+        return records, stolen
+
+    def _admit_level(self, candidates, in_qs, out_q):
+        """Send each home worker its (path-sorted) batch of fingerprints
+        and collect the union of admitted paths."""
+        n = self.shards
+        batches: list[list] = [[] for _ in range(n)]
+        for path, cfp, home, _state, _gen in candidates:
+            if cfp is not None:
+                batches[home].append((path, cfp))
+        sent = 0
+        for wid in range(n):
+            if batches[wid]:
+                in_qs[wid].put(("admit", batches[wid]))
+                sent += 1
+        admitted: set[tuple] = set()
+        while sent:
+            msg = out_q.get()
+            kind, wid = msg[0], msg[1]
+            if kind == "crashed":
+                raise _WorkerFailure(
+                    f"shard worker {wid} crashed:\n{msg[2]}"
+                )
+            assert kind == "admitted"
+            admitted.update(msg[2])
+            sent -= 1
+        return admitted
+
+    def _shutdown(self, workers, in_qs, out_q) -> None:
+        for q in in_qs:
+            try:
+                q.put(("stop",))
+            except Exception:
+                pass
+        for w in workers:
+            w.join(timeout=2.0)
+        for w in workers:
+            if w.is_alive():
+                w.terminate()
+                w.join(timeout=1.0)
+        for q in (*in_qs, out_q):
+            q.cancel_join_thread()
+            q.close()
+
+    # -- worker ----------------------------------------------------------
+
+    def _worker_main(self, wid, in_q, out_q, store_dir) -> None:
+        try:
+            from ..smt import solver_cache
+            from ..store.solver import SolverStore
+
+            if store_dir is not None and solver_cache.backing is None:
+                solver_cache.backing = SolverStore(store_dir)
+            backing = solver_cache.backing
+            # This worker's slice of the admission state: same logic,
+            # same counting as the sequential kernel, restricted to the
+            # shapes this shard owns.
+            kern = SearchKernel(
+                self.step,
+                strategy="bfs",
+                fingerprint=self.fingerprint,
+                subsume=self.subsume,
+                chain_limit=self.chain_limit,
+            )
+            while True:
+                msg = in_q.get()
+                kind = msg[0]
+                if kind == "stop":
+                    return
+                if kind == "admit":
+                    # Level barrier for this shard: pick up solver
+                    # results published by sibling shards since the
+                    # index was last built.
+                    if backing is not None and hasattr(backing, "refresh"):
+                        backing.refresh()
+                    admitted = [
+                        path for path, fp in msg[1] if kern._admit_fp(fp)
+                    ]
+                    out_q.put(("admitted", wid, admitted))
+                elif kind == "expand":
+                    results = [
+                        tuple(self._expand_one(kern, wid, path, state))
+                        for path, state in msg[1]
+                    ]
+                    if backing is not None:
+                        backing.flush()
+                    out_q.put(("results", wid, results))
+        except Exception:
+            try:
+                out_q.put(("crashed", wid, traceback.format_exc()))
+            except Exception:
+                os._exit(1)
+
+    def _expand_one(self, kern, wid, path, state):
+        """One task: enter, expand (chains run to their choice point),
+        fingerprint + route the successors.  Mirrors one iteration of
+        the sequential kernel loop; exceptions become per-task error
+        records so the parent can re-raise them at the exact global
+        index the sequential run would."""
+        rec = _Record(path, wid)
+        chained0 = kern.stats.chained
+        probe = self.counter_probe
+        base = probe() if probe is not None else None
+        try:
+            if self.enter is not None:
+                self.enter(state)
+            final, succs = kern._expand(state)
+            if succs is None:
+                rec.answer, rec.is_answer = final, True
+            else:
+                n = self.shards
+                packed = []
+                for i, s in enumerate(succs):
+                    fp = self.fingerprint(s)
+                    home = hash(fp.shape) % n if fp is not None else wid
+                    packed.append((path + (i,), fp, home, s))
+                rec.succs = packed
+        except Exception as exc:
+            rec.error = (type(exc).__name__, str(exc))
+            rec.succs = []
+        rec.chained = kern.stats.chained - chained0
+        if base is not None:
+            now = probe()
+            rec.deltas = tuple(b - a for a, b in zip(base, now))
+        return (rec.path, rec.wid, rec.chained, rec.deltas, rec.answer,
+                rec.is_answer, rec.succs, rec.error)

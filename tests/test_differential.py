@@ -31,6 +31,7 @@ programs run under a wall timeout with inconclusive verdicts counted as
 skips rather than failures.
 """
 
+import os
 import random
 
 import pytest
@@ -46,7 +47,18 @@ N_CLOSED = 140
 N_OPEN = 60
 FUEL = 200_000
 
-CFG = RunConfig(timeout_s=0, fuel=FUEL)
+def _env_shards() -> int:
+    """``REPRO_SHARDS`` routes the whole fuzz through the sharded
+    frontier engine (one CI leg runs with 2 shards): byte-identical
+    verdicts are the engine's contract, so every assertion — including
+    the shrinker's disagreement checks — must hold unchanged."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SHARDS", "1") or "1"))
+    except ValueError:
+        return 1
+
+
+CFG = RunConfig(timeout_s=0, fuel=FUEL, shards=_env_shards())
 
 # ---------------------------------------------------------------------------
 # Program generator — a tiny nat-sorted tree grammar
@@ -299,7 +311,7 @@ class TestOpenPrograms:
         rng = random.Random(SEED + 1)
         # Solver-hard programs degrade to timeout/no-model rows instead
         # of wedging the suite; those are skips, not failures.
-        cfg = RunConfig(timeout_s=5.0, fuel=FUEL)
+        cfg = RunConfig(timeout_s=5.0, fuel=FUEL, shards=_env_shards())
         cexs = safes = 0
         for _ in range(N_OPEN):
             tree = gen(rng, depth=4, env=(), allow_opq=True)

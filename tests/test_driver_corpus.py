@@ -119,6 +119,7 @@ PROGRAM_KEYS = {
     "chained_steps", "solver_fresh_solves", "solver_incremental",
     "solver_clauses_reused", "solver_scope_depth", "errors_found",
     "cex_attempts", "store_hits", "store_misses", "modules_reverified",
+    "shards", "stolen_tasks", "frontier_exchanges", "shard_states",
     "counterexample", "detail",
 }
 CEX_KEYS = {
@@ -131,7 +132,8 @@ TOTALS_KEYS = {
     "chained_steps", "pruned_states", "solver_queries",
     "solver_cache_hits", "solver_fresh_solves", "solver_incremental",
     "solver_clauses_reused", "solver_scope_depth", "store_hits",
-    "store_misses", "modules_reverified", "wall_ms",
+    "store_misses", "modules_reverified", "stolen_tasks",
+    "frontier_exchanges", "wall_ms", "max_wall_ms",
 }
 AGREEMENT_KEYS = {
     "shared_programs", "agreed", "inconclusive", "disagreements",
