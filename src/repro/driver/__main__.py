@@ -9,7 +9,11 @@ Subcommands (full reference: docs/CLI.md):
   and write the machine-readable ``BENCH_driver.json``;
 * ``corpus list`` / ``corpus show NAME`` — inspect the corpus;
 * ``store stats`` / ``store gc`` / ``store verify`` — maintain the
-  persistent verification store (docs/ARCHITECTURE.md).
+  persistent verification store (docs/ARCHITECTURE.md);
+* ``serve``       — the long-lived verification service: an HTTP/JSON
+  API with a persistent job queue and a process-based worker pool over
+  a shared store directory (docs/SERVER.md).  Budget flags set the
+  server-side defaults a request's ``config`` may override.
 
 ``verify`` and ``bench`` accept ``--store [DIR]`` to read/write the
 persistent content-addressed result store (default directory
@@ -38,6 +42,48 @@ from .runner import RunConfig, expand_tasks, run_corpus, verify_source
 
 
 _DEFAULTS = RunConfig()  # the single source of budget defaults
+
+
+def _to_int(text, what: str) -> int:
+    """The one funnel for numeric options, wherever they arrive from.
+
+    Flags go through :func:`_int_flag` (argparse's clean usage error),
+    environment variables through :func:`_env_int` — both exit 2 with a
+    message naming the option instead of dumping a ``ValueError``
+    traceback (or worse, silently substituting a default)."""
+    try:
+        return int(str(text).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{what} must be an integer, got {text!r}"
+        ) from None
+
+
+def _int_flag(what: str):
+    """An argparse ``type=`` callable with a named, clear error."""
+
+    def parse(text: str) -> int:
+        try:
+            return _to_int(text, what)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+
+    parse.__name__ = "int"  # argparse shows this in usage errors
+    return parse
+
+
+def _env_int(var: str, default: int) -> int:
+    """Resolve an integer environment variable, exiting 2 on garbage
+    (``REPRO_SHARDS=abc`` must be a clear CLI error, not a traceback
+    and not a silently-ignored setting)."""
+    raw = os.environ.get(var)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return _to_int(raw, f"environment variable {var}")
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _add_budget_flags(p: argparse.ArgumentParser) -> None:
@@ -71,7 +117,7 @@ def _add_budget_flags(p: argparse.ArgumentParser) -> None:
         "(default bfs)",
     )
     p.add_argument(
-        "--shards", type=int, default=None, metavar="N",
+        "--shards", type=_int_flag("--shards"), default=None, metavar="N",
         help="partition each program's bfs frontier across N forked "
         "worker processes with a deterministic merge (byte-identical "
         "verdicts and counterexamples; see docs/ARCHITECTURE.md). "
@@ -119,10 +165,7 @@ def _shards(args: argparse.Namespace) -> int:
     """Resolve the shard count: --shards N > $REPRO_SHARDS > 1."""
     if args.shards is not None:
         return max(1, args.shards)
-    try:
-        return max(1, int(os.environ.get("REPRO_SHARDS", "") or 1))
-    except ValueError:
-        return 1
+    return max(1, _env_int("REPRO_SHARDS", 1))
 
 
 def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
@@ -244,6 +287,35 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from dataclasses import asdict as _asdict
+
+    from ..serve.app import run_serve
+    from ..store import DEFAULT_STORE_DIR
+
+    # The server *is* the store's serving layer: --no-store merely
+    # falls back to the default directory instead of disabling it.
+    root = _store_dir(args) or DEFAULT_STORE_DIR
+    port = args.port if args.port is not None else \
+        _env_int("REPRO_SERVE_PORT", 8321)
+    workers = args.workers if args.workers is not None else \
+        _env_int("REPRO_SERVE_WORKERS", min(4, os.cpu_count() or 1))
+    if workers < 1:
+        print("repro: --workers must be at least 1", file=sys.stderr)
+        return 2
+    base = _asdict(_config(args))
+    base["store_dir"] = root
+    return run_serve(
+        host=args.host,
+        port=port,
+        workers=workers,
+        store_root=root,
+        base_config=base,
+        drain_timeout_s=args.drain_timeout,
+        quiet=not args.verbose,
+    )
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from ..store import DEFAULT_STORE_DIR, get_store
     from ..store.verdicts import check_entries
@@ -316,6 +388,37 @@ def main(argv: list[str] | None = None) -> int:
     p_show = corpus_sub.add_parser("show", help="print one program's source")
     p_show.add_argument("name")
     p_show.set_defaults(fn=_cmd_corpus)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived verification service over the store "
+        "(HTTP/JSON; see docs/SERVER.md)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=_int_flag("--port"), default=None, metavar="PORT",
+        help="listen port (default: the REPRO_SERVE_PORT environment "
+        "variable, else 8321; 0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=_int_flag("--workers"), default=None, metavar="N",
+        help="verification worker processes (default: REPRO_SERVE_WORKERS, "
+        "else min(4, cpu count))",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="grace period for in-flight jobs on SIGTERM before workers "
+        "are killed (default 60)",
+    )
+    p_serve.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="log every HTTP request to stderr",
+    )
+    _add_budget_flags(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_store = sub.add_parser(
         "store", help="maintain the persistent verification store"

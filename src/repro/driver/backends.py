@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import signal
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Protocol
@@ -102,12 +103,56 @@ class _Deadline(Exception):
     """Raised inside a worker when the per-program wall clock expires."""
 
 
+class DeadlineStatus:
+    """Whether a configured wall-clock budget was actually armed.
+
+    ``enforced`` stays True when no budget was requested (nothing to
+    enforce) and flips to False only when a *positive* budget could not
+    be installed — no ``SIGALRM`` on this platform, or the caller is not
+    the main thread.  The row's ``deadline_enforced`` field reports it,
+    so an unenforced budget is visible instead of silently dropped."""
+
+    __slots__ = ("enforced",)
+
+    def __init__(self) -> None:
+        self.enforced = True
+
+
+#: One warning per process: every row still carries the flag, but the
+#: stderr noise is emitted only for the first unenforceable deadline.
+_deadline_warned = False
+
+
+def _warn_deadline_unenforced(reason: str) -> None:
+    global _deadline_warned
+    if _deadline_warned:
+        return
+    _deadline_warned = True
+    warnings.warn(
+        f"wall-clock deadline not enforced ({reason}); verification "
+        "runs unbounded and result rows carry deadline_enforced=false",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 @contextmanager
-def _deadline(seconds: float):
-    """Arm a wall-clock alarm around a block (POSIX main thread only;
-    elsewhere the block simply runs unbounded)."""
-    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
-        yield
+def _deadline(seconds: float, status: Optional[DeadlineStatus] = None):
+    """Arm a wall-clock alarm around a block (POSIX main thread only).
+
+    Where the alarm cannot be installed the block runs unbounded, but
+    never silently: ``status.enforced`` is cleared and a one-time
+    warning names the reason, so a threaded caller (e.g. an HTTP
+    handler thread) cannot mistake an unbounded run for a budgeted
+    one."""
+    status = status if status is not None else DeadlineStatus()
+    if seconds <= 0:  # explicitly unbounded: nothing to enforce
+        yield status
+        return
+    if not hasattr(signal, "SIGALRM"):
+        status.enforced = False
+        _warn_deadline_unenforced("SIGALRM unavailable on this platform")
+        yield status
         return
 
     def _on_alarm(signum, frame):
@@ -116,11 +161,15 @@ def _deadline(seconds: float):
     try:
         old = signal.signal(signal.SIGALRM, _on_alarm)
     except ValueError:  # not in the main thread
-        yield
+        status.enforced = False
+        _warn_deadline_unenforced(
+            "SIGALRM can only be installed from the main thread"
+        )
+        yield status
         return
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
-        yield
+        yield status
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, old)
@@ -221,6 +270,7 @@ class TypedCoreBackend:
         stats = SearchStats()
         proof = ProofSystem(mode=cfg.mode, incremental=cfg.incremental)
         rb = _ResultBuilder(self.name, name, kind, memo=cfg.memo)
+        dl = DeadlineStatus()
 
         def done(status: str, **kw) -> ProgramResult:
             # Reads every counter at call time, so rows cut short by the
@@ -236,6 +286,7 @@ class TypedCoreBackend:
                 stolen_tasks=stats.stolen_tasks,
                 frontier_exchanges=stats.frontier_exchanges,
                 shard_states=list(stats.shard_states),
+                deadline_enforced=dl.enforced,
                 **kw,
             )
 
@@ -250,7 +301,7 @@ class TypedCoreBackend:
         attempts = 0
         found = None  # the first validated counterexample, if any
         try:
-            with _deadline(cfg.timeout_s):
+            with _deadline(cfg.timeout_s, dl):
                 machine = Machine(proof)
                 for result in find_errors(
                     core, machine=machine, max_states=cfg.max_states,
@@ -373,6 +424,7 @@ class UntypedScvBackend:
         _reset_counters()
         stats = USearchStats()
         rb = _ResultBuilder(self.name, name, kind, memo=cfg.memo)
+        dl = DeadlineStatus()
         proof_queries = solver_queries = 0
 
         def done(status: str, **kw) -> ProgramResult:
@@ -389,6 +441,7 @@ class UntypedScvBackend:
                 stolen_tasks=stats.stolen_tasks,
                 frontier_exchanges=stats.frontier_exchanges,
                 shard_states=list(stats.shard_states),
+                deadline_enforced=dl.enforced,
                 **kw,
             )
 
@@ -406,7 +459,7 @@ class UntypedScvBackend:
         attempts = 0
         found = None  # the first validated counterexample, if any
         try:
-            with _deadline(cfg.timeout_s):
+            with _deadline(cfg.timeout_s, dl):
                 init = inject_program(program, machine,
                                       client_of=cfg.client_of)
                 for blame_state in find_known_blames(

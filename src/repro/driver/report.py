@@ -69,7 +69,12 @@ persistent-store ``v6``):
   while these four describe the scheduling itself.  Totals sum the
   counters (not ``shards``/``shard_states``) and gain ``max_wall_ms``,
   the slowest single program row — the metric in-program sharding
-  exists to shrink, gated by ``perfgate`` alongside the totals.
+  exists to shrink, gated by ``perfgate`` alongside the totals;
+* v7 addendum (the serving revision): rows carry
+  ``deadline_enforced`` — False when a positive wall-clock budget could
+  not be armed (no ``SIGALRM``, or the caller was not the main thread),
+  instead of the budget being silently dropped.  Volatile: it describes
+  the execution environment, not the program.
 """
 
 from __future__ import annotations
@@ -115,6 +120,11 @@ VOLATILE_ROW_FIELDS = frozenset({
     "stolen_tasks",
     "frontier_exchanges",
     "shard_states",
+    # Whether the per-program wall-clock budget could actually be armed
+    # (SIGALRM, main thread only — see driver.backends._deadline).  An
+    # execution-environment fact, not a property of the program: a
+    # threaded caller's row must still compare equal to a process row.
+    "deadline_enforced",
 })
 
 
@@ -173,6 +183,7 @@ class ProgramResult:
     stolen_tasks: int = 0  # expansion chunks reassigned between shards
     frontier_exchanges: int = 0  # successors routed to a different shard
     shard_states: list = field(default_factory=list)  # per-shard expansions
+    deadline_enforced: bool = True  # was the wall-clock budget actually armed
     counterexample: Optional[CexReport] = None
     detail: str = ""
 
@@ -189,6 +200,17 @@ class ProgramResult:
                 and self.counterexample.validated_conc is not False
             )
         return None
+
+
+def result_from_row(row: dict) -> ProgramResult:
+    """The inverse of ``asdict``: rebuild a :class:`ProgramResult` from
+    one JSON row (a report's ``programs`` entry, a stored verdict's
+    ``result``, or a serve job's row)."""
+    d = dict(row)
+    cex = d.get("counterexample")
+    if cex is not None:
+        d["counterexample"] = CexReport(**cex)
+    return ProgramResult(**d)
 
 
 def _totals(results: list[ProgramResult]) -> dict:

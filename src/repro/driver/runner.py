@@ -26,6 +26,7 @@ slow report assembly cannot be killed by a stale alarm (pinned by
 
 from __future__ import annotations
 
+import atexit
 from dataclasses import asdict
 from typing import Callable, Iterable, Optional
 
@@ -35,8 +36,11 @@ from .report import BenchReport, ProgramResult
 
 __all__ = [
     "RunConfig",
+    "expand_backends",
     "expand_tasks",
+    "init_worker",
     "run_corpus",
+    "run_job",
     "verify_program",
     "verify_source",
 ]
@@ -77,6 +81,37 @@ def verify_program(
     )
 
 
+def expand_backends(backend: str) -> tuple[str, ...]:
+    """A backend selection as the concrete engines to run: ``both``
+    expands to every registered backend, anything else passes through
+    (``get_backend`` validates it)."""
+    if backend == "both":
+        return tuple(BACKENDS)
+    get_backend(backend)  # raises with the helpful message
+    return (backend,)
+
+
+def run_job(
+    source: str,
+    *,
+    name: str = "<input>",
+    kind: str = "?",
+    config: Optional[RunConfig] = None,
+    backend: str = "core",
+) -> list[ProgramResult]:
+    """One *job*: a source text against a backend selection, through
+    the same store-aware path as the batch runner — one row per engine.
+
+    This is the unit of work a ``repro serve`` worker process executes;
+    it is also exactly what ``repro verify --backend both`` does for a
+    file.  Rows come back in ``expand_backends`` order, so a job's
+    report is deterministic for a given request."""
+    return [
+        verify_source(source, name=name, kind=kind, config=config, backend=b)
+        for b in expand_backends(backend)
+    ]
+
+
 def expand_tasks(
     names: Iterable[str], backend: str
 ) -> list[tuple[str, str]]:
@@ -105,9 +140,21 @@ def expand_tasks(
 _WORKER_CFG: Optional[RunConfig] = None
 
 
-def _init_worker(cfg_fields: dict) -> None:
+def init_worker(cfg_fields: dict) -> None:
+    """Worker-process bootstrap, shared by the batch pool and ``repro
+    serve``: install the run configuration and make sure any solver
+    entries still buffered at process exit reach their shard directory
+    (the normal end-of-verification flush covers the happy path; the
+    ``atexit`` hook covers teardown after an exception or a drain)."""
     global _WORKER_CFG
     _WORKER_CFG = RunConfig(**cfg_fields)
+    from ..store.solver import flush_all_stores
+
+    atexit.register(flush_all_stores)
+
+
+# Back-compat alias: the initializer predates the serve refactor.
+_init_worker = init_worker
 
 
 def _run_one(task: tuple[str, str]) -> ProgramResult:
@@ -162,7 +209,7 @@ def run_corpus(
     ctx = mp.get_context()
     with ctx.Pool(
         processes=min(cfg.jobs, len(tasks)),
-        initializer=_init_worker,
+        initializer=init_worker,
         initargs=(asdict(worker_cfg),),
     ) as pool:
         for r in pool.imap_unordered(_run_one, tasks, chunksize=1):

@@ -1,0 +1,44 @@
+"""``repro serve`` — a long-lived verification service over the store.
+
+The serving layer the ROADMAP's verification-as-a-service item calls
+for: an HTTP/JSON API (:mod:`repro.serve.app`), a crash-safe persistent
+job queue (:mod:`repro.serve.queue`) and a process-based worker pool
+(:mod:`repro.serve.workers`) that reuses the batch runner as a library
+(:func:`repro.driver.runner.run_job`), all sharing one content-
+addressed ``--store`` directory — so a re-submitted or slightly-edited
+program is a store lookup (or a per-module partial recompute), not a
+recompute.  Wire protocol: :mod:`repro.serve.protocol`; operator
+reference: docs/SERVER.md.
+"""
+
+from .app import ServeApp, make_server, run_serve
+from .protocol import (
+    API_VERSION,
+    JOB_DONE,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    ProtocolError,
+    job_view,
+    parse_verify_request,
+)
+from .queue import MAX_ATTEMPTS, Job, JobQueue
+from .workers import WorkerPool, job_run_config, worker_main
+
+__all__ = [
+    "API_VERSION",
+    "JOB_DONE",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "Job",
+    "JobQueue",
+    "MAX_ATTEMPTS",
+    "ProtocolError",
+    "ServeApp",
+    "WorkerPool",
+    "job_run_config",
+    "job_view",
+    "make_server",
+    "parse_verify_request",
+    "run_serve",
+    "worker_main",
+]

@@ -26,12 +26,13 @@ from .fingerprint import (
     program_digest,
     serialize_program,
 )
-from .solver import SolverStore, formula_key
+from .solver import SolverStore, flush_all_stores, formula_key
 from .verdicts import (
     DEFAULT_STORE_DIR,
     StoreKey,
     VerdictStore,
     get_store,
+    try_replay,
     verify_with_store,
 )
 
@@ -46,11 +47,13 @@ __all__ = [
     "StoreKey",
     "VerdictStore",
     "config_digest",
+    "flush_all_stores",
     "formula_key",
     "get_store",
     "module_dependencies",
     "module_slices",
     "program_digest",
     "serialize_program",
+    "try_replay",
     "verify_with_store",
 ]

@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import uuid
+import weakref
 from typing import Optional
 
 from ..smt.cache import _CachedModel  # noqa: F401  (documented entry shape)
@@ -65,6 +66,28 @@ from ..smt.terms import (
 #: Entry shape stored per line: [key, result, model-or-null, model_known]
 _SHARD_PREFIX = "shard-"
 _RESULTS = {r.value: r for r in Result}
+
+#: Every live SolverStore in this process, for teardown flushing: a
+#: worker that buffered entries but dies before its normal end-of-run
+#: flush (SIGTERM mid-verify, an atexit path, a drained serve worker)
+#: publishes them via :func:`flush_all_stores` instead of losing them.
+_LIVE_STORES: "weakref.WeakSet[SolverStore]" = weakref.WeakSet()
+
+
+def flush_all_stores() -> int:
+    """Publish the buffered entries of every live store (no-op for
+    empty buffers).  Returns the number of shards written.  Safe to call
+    from ``atexit`` hooks and signal handlers: flushing is a plain
+    write-to-temp + atomic rename, and an already-flushed store simply
+    has nothing to do."""
+    written = 0
+    for store in list(_LIVE_STORES):
+        try:
+            if store.flush() is not None:
+                written += 1
+        except OSError:
+            continue  # a dead tempdir at interpreter exit: nothing to save
+    return written
 
 
 def _term_key(t: Term) -> str:
@@ -144,6 +167,7 @@ class SolverStore:
         self._buffer: dict[str, tuple[Result, Optional[tuple], bool]] = {}
         self.loaded_shards = 0
         self.skipped_lines = 0
+        _LIVE_STORES.add(self)
 
     # -- loading ---------------------------------------------------------
 

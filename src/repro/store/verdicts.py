@@ -44,8 +44,8 @@ from ..driver.report import (
     STATUS_TIMEOUT,
     STATUS_TRUNCATED,
     STATUS_UNSUPPORTED,
-    CexReport,
     ProgramResult,
+    result_from_row,
 )
 from ..lang.parser import ParseError, parse_program
 from ..lang.pretty import pp_program
@@ -92,11 +92,7 @@ def _row_to_json(row: ProgramResult) -> dict:
 
 
 def _row_from_json(d: dict) -> ProgramResult:
-    d = dict(d)
-    cex = d.get("counterexample")
-    if cex is not None:
-        d["counterexample"] = CexReport(**cex)
-    return ProgramResult(**d)
+    return result_from_row(d)
 
 
 class VerdictStore:
@@ -324,6 +320,7 @@ def _combine_units(
         wall_ms=sum(r.wall_ms for _, r in units),
         backend=backend,
         solver_scope_depth=max(r.solver_scope_depth for _, r in units),
+        deadline_enforced=all(r.deadline_enforced for _, r in units),
         counterexample=chosen.counterexample,
         detail=detail,
         **sums,
@@ -333,6 +330,135 @@ def _combine_units(
 def _semantic_config(config) -> dict:
     fields = asdict(config)
     return {k: fields[k] for k in sorted(_SEMANTIC_CONFIG_FIELDS)}
+
+
+def _plan_units(program, source: str, backend: str):
+    """The verification units of a program: ``(client_marker,
+    slice_program, client_of, unit_source)`` tuples, one per unit."""
+    units = module_slices(program) if backend == "scv" else None
+    if units is None:
+        return [(CLIENT_ALL, program, None, source)]
+    return [
+        (marker, slice_prog, client_of, pp_program(slice_prog))
+        for marker, slice_prog, client_of in units
+    ]
+
+
+def _store_verify(
+    source: str,
+    *,
+    name: str,
+    kind: str,
+    config,
+    backend: str,
+    replay_only: bool,
+) -> Optional[ProgramResult]:
+    from ..driver.backends import get_backend
+
+    cfg = config
+    assert cfg is not None and cfg.store_dir, "store path requires store_dir"
+    engine = get_backend(backend)
+    store = get_store(cfg.store_dir)
+    t0 = time.perf_counter()
+    try:
+        program = parse_program(source)
+        cfg_digest = config_digest(asdict(cfg))
+        work = _plan_units(program, source, backend)
+    except (ParseError, ReadError, DigestError):
+        # Outside the canonicalizable subset: verify directly, uncached
+        # (a replay-only caller cannot answer it from the store at all).
+        if replay_only:
+            return None
+        return engine.verify(source, name=name, kind=kind, config=cfg)
+
+    keyed = [
+        (
+            StoreKey(
+                program=program_digest(slice_prog),
+                backend=backend,
+                config=cfg_digest,
+                client=marker,
+            ),
+            marker,
+            client_of,
+            unit_source,
+        )
+        for marker, slice_prog, client_of, unit_source in work
+    ]
+
+    hits = misses = 0
+    rows: list[tuple[str, ProgramResult]] = []
+
+    if replay_only:
+        # The warm synchronous path: every unit must replay, or the
+        # caller falls back to a queued job.  No engine, no solver
+        # backing — a pure read of the store.
+        for key, marker, _client_of, _unit_source in keyed:
+            entry = store.lookup(key)
+            if entry is None:
+                return None
+            try:
+                row = _row_from_json(entry["result"])
+            except TypeError:
+                return None  # schema drift inside the row: recompute
+            hits += 1
+            rows.append((marker, row))
+    else:
+        prev_backing = solver_cache.backing
+        solver_cache.backing = store.solver
+        try:
+            for key, marker, client_of, unit_source in keyed:
+                entry = store.lookup(key)
+                if entry is not None:
+                    try:
+                        row = _row_from_json(entry["result"])
+                    except TypeError:
+                        entry = None  # schema drift in the row: recompute
+                    else:
+                        hits += 1
+                        rows.append((marker, row))
+                        continue
+                unit_name = (
+                    name if marker == CLIENT_ALL else f"{name}::{marker}"
+                )
+                row = engine.verify(
+                    unit_source,
+                    name=unit_name,
+                    kind=kind,
+                    config=replace(cfg, client_of=client_of, store_dir=None),
+                )
+                misses += 1
+                if row.status != STATUS_ERROR:
+                    # Driver errors are bugs: never immortalize them.
+                    store.put(
+                        key,
+                        name=unit_name,
+                        kind=kind,
+                        source=unit_source,
+                        config={
+                            **_semantic_config(cfg), "client_of": client_of,
+                        },
+                        row=row,
+                    )
+                rows.append((marker, row))
+        finally:
+            store.solver.flush()
+            solver_cache.backing = prev_backing
+
+    if len(rows) == 1:
+        combined = replace(rows[0][1], name=name, kind=kind)
+    else:
+        combined = _combine_units(name, kind, backend, rows)
+    return replace(
+        combined,
+        wall_ms=(
+            combined.wall_ms if misses else
+            (time.perf_counter() - t0) * 1000
+        ),
+        store_hits=hits,
+        store_misses=misses,
+        modules_reverified=misses,
+    )
 
 
 def verify_with_store(
@@ -350,88 +476,33 @@ def verify_with_store(
     then combines.  The returned row carries the store economy counters:
     ``store_hits``/``store_misses`` (unit lookups) and
     ``modules_reverified`` (units actually recomputed)."""
-    from ..driver.backends import get_backend
+    row = _store_verify(
+        source, name=name, kind=kind, config=config, backend=backend,
+        replay_only=False,
+    )
+    assert row is not None  # replay_only=False always produces a row
+    return row
 
-    cfg = config
-    assert cfg is not None and cfg.store_dir, "store path requires store_dir"
-    engine = get_backend(backend)
-    store = get_store(cfg.store_dir)
-    t0 = time.perf_counter()
-    try:
-        program = parse_program(source)
-        cfg_digest = config_digest(asdict(cfg))
-        units = module_slices(program) if backend == "scv" else None
-    except (ParseError, ReadError, DigestError):
-        # Outside the canonicalizable subset: verify directly, uncached.
-        return engine.verify(source, name=name, kind=kind, config=cfg)
 
-    prev_backing = solver_cache.backing
-    solver_cache.backing = store.solver
-    hits = misses = 0
-    rows: list[tuple[str, ProgramResult]] = []
-    try:
-        if units is None:
-            work = [(CLIENT_ALL, program, None, source)]
-        else:
-            work = [
-                (marker, slice_prog, client_of, pp_program(slice_prog))
-                for marker, slice_prog, client_of in units
-            ]
-        for marker, slice_prog, client_of, unit_source in work:
-            key = StoreKey(
-                program=program_digest(slice_prog),
-                backend=backend,
-                config=cfg_digest,
-                client=marker,
-            )
-            entry = store.lookup(key)
-            if entry is not None:
-                try:
-                    row = _row_from_json(entry["result"])
-                except TypeError:
-                    entry = None  # schema drift inside the row: recompute
-                else:
-                    hits += 1
-                    rows.append((marker, row))
-                    continue
-            unit_name = name if marker == CLIENT_ALL else f"{name}::{marker}"
-            row = engine.verify(
-                unit_source,
-                name=unit_name,
-                kind=kind,
-                config=replace(cfg, client_of=client_of, store_dir=None),
-            )
-            misses += 1
-            if row.status != STATUS_ERROR:
-                # Driver errors are bugs: never immortalize them.
-                store.put(
-                    key,
-                    name=unit_name,
-                    kind=kind,
-                    source=unit_source,
-                    config={
-                        **_semantic_config(cfg), "client_of": client_of,
-                    },
-                    row=row,
-                )
-            rows.append((marker, row))
-    finally:
-        store.solver.flush()
-        solver_cache.backing = prev_backing
+def try_replay(
+    source: str,
+    *,
+    name: str = "<input>",
+    kind: str = "?",
+    config=None,
+    backend: str = "core",
+) -> Optional[ProgramResult]:
+    """Answer a verification request purely from the store, or ``None``.
 
-    if len(rows) == 1:
-        combined = replace(rows[0][1], name=name, kind=kind)
-    else:
-        combined = _combine_units(name, kind, backend, rows)
-    return replace(
-        combined,
-        wall_ms=(
-            combined.wall_ms if misses else
-            (time.perf_counter() - t0) * 1000
-        ),
-        store_hits=hits,
-        store_misses=misses,
-        modules_reverified=misses,
+    The warm synchronous path of ``repro serve``: when *every* unit of
+    the program is already stored, the combined row — identical to what
+    ``verify_with_store`` would return, with ``store_misses == 0`` — is
+    assembled without running an engine or touching a solver.  Any unit
+    miss (or an unparseable/undigestable program) returns ``None`` and
+    the caller schedules real work instead."""
+    return _store_verify(
+        source, name=name, kind=kind, config=config, backend=backend,
+        replay_only=True,
     )
 
 

@@ -120,7 +120,7 @@ PROGRAM_KEYS = {
     "solver_clauses_reused", "solver_scope_depth", "errors_found",
     "cex_attempts", "store_hits", "store_misses", "modules_reverified",
     "shards", "stolen_tasks", "frontier_exchanges", "shard_states",
-    "counterexample", "detail",
+    "deadline_enforced", "counterexample", "detail",
 }
 CEX_KEYS = {
     "bindings", "err_label", "err_op", "validated_core", "validated_conc",
