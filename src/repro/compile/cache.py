@@ -1,0 +1,263 @@
+"""Content-addressed persistence for compiled units.
+
+One JSON file per (program digest, engine, client slice):
+
+    <cache dir>/<program_digest>.<engine>.<client or 'all'>.json
+
+so the serve path and warm CI reuse compiled code exactly when they
+reuse verdicts — the key is the same ``program_digest`` the verdict
+store is addressed by, and a module edit that changes the digest
+orphans the old unit file (the invalidation test in
+``tests/test_compile.py`` pins this).
+
+The serialized form is self-contained per unit: the opcode plus one
+encoded operand per instruction field.  Node-valued operands are stored
+as indices into the unit's pre-order node list (``["n", i]``), and the
+loader resolves them against a fresh walk of the just-parsed AST —
+validating at every index that the node's class still matches the
+stored opcode.  Any mismatch (schema drift, truncated file, digest
+collision) makes ``load`` return ``None`` and the caller compiles
+fresh; a cache can cause a recompile, never a wrong program.  Writes
+are best-effort (tmp file + ``os.replace``) and never raise into the
+run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+from typing import Optional
+
+from ..core.syntax import Loc
+from ..lang.sexp import Symbol
+from .lower import CompiledUnit, core_opcode_for, scv_opcode_for
+
+FORMAT_VERSION = 1
+
+
+class _EncodeError(Exception):
+    """An operand with no stable serialized form."""
+
+
+def _encode(x, index):
+    cls = x.__class__
+    if x is None or cls in (int, str, bool, float):
+        return ["v", x]
+    if cls is Symbol:
+        return ["sym", x.name]
+    if cls is Loc:
+        return ["loc", x.name]
+    if cls is Fraction:
+        return ["q", x.numerator, x.denominator]
+    if cls is complex:
+        return ["c", x.real, x.imag]
+    if cls is tuple:
+        return ["t", [_encode(v, index) for v in x]]
+    if cls is list:
+        return ["list", [_encode(v, index) for v in x]]
+    idx = index.get(id(x))
+    if idx is not None:
+        return ["n", idx]
+    raise _EncodeError(repr(x))
+
+
+def _decode(enc, nodes):
+    tag = enc[0]
+    if tag == "v":
+        return enc[1]
+    if tag == "sym":
+        return Symbol(enc[1])
+    if tag == "loc":
+        return Loc(enc[1])
+    if tag == "q":
+        return Fraction(enc[1], enc[2])
+    if tag == "c":
+        return complex(enc[1], enc[2])
+    if tag == "t":
+        return tuple(_decode(v, nodes) for v in enc[1])
+    if tag == "list":
+        return [_decode(v, nodes) for v in enc[1]]
+    if tag == "n":
+        return nodes[enc[1]]
+    raise _EncodeError(repr(enc))
+
+
+def _walk_unit(root, children_of, pending):
+    """The same pre-order walk the lowering pass makes (lambda bodies go
+    to ``pending``, not into this unit)."""
+    nodes = []
+    stack = [root]
+    while stack:
+        e = stack.pop()
+        nodes.append(e)
+        kids, lam_body = children_of(e)
+        if lam_body is not None:
+            pending.append(lam_body)
+        stack.extend(reversed(kids))
+    return nodes
+
+
+class CompiledUnitCache:
+    """Digest-keyed unit persistence under one directory.
+
+    ``program_root`` at load time must be the freshly parsed AST the
+    digest was computed over; decoded node references are rebound to it.
+    """
+
+    def __init__(self, cache_dir: str, program_digest: str,
+                 client: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self.program_digest = program_digest
+        self.client = client or "all"
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, engine: str) -> str:
+        return os.path.join(
+            self.cache_dir,
+            f"{self.program_digest}.{engine}.{self.client}.json",
+        )
+
+    # -- store ----------------------------------------------------------
+
+    def store(self, engine: str, units: list[CompiledUnit]) -> bool:
+        try:
+            payload = {
+                "version": FORMAT_VERSION,
+                "engine": engine,
+                "program": self.program_digest,
+                "units": [self._encode_unit(u) for u in units],
+            }
+        except _EncodeError:
+            return False
+        path = self._path(engine)
+        tmp = path + ".tmp"
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(payload, f, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:
+            return False
+        return True
+
+    @staticmethod
+    def _encode_unit(unit: CompiledUnit) -> dict:
+        index = {id(n): i for i, n in enumerate(unit.nodes)}
+        return {
+            "kind": unit.kind,
+            "instructions": [
+                [ins[0]] + [_encode(op, index) for op in ins[1:]]
+                for ins in unit.instructions
+            ],
+        }
+
+    # -- load -----------------------------------------------------------
+
+    def load(self, engine: str, program_root) -> Optional[list[CompiledUnit]]:
+        path = self._path(engine)
+        try:
+            with open(path, encoding="utf-8") as f:
+                payload = json.load(f)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        units = self._rebind(engine, payload, program_root)
+        if units is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return units
+
+    def _rebind(self, engine, payload, program_root):
+        if not isinstance(payload, dict) or \
+                payload.get("version") != FORMAT_VERSION or \
+                payload.get("engine") != engine or \
+                payload.get("program") != self.program_digest:
+            return None
+        stored_units = payload.get("units")
+        if not isinstance(stored_units, list) or not stored_units:
+            return None
+        if engine == "scv":
+            opcode_for = scv_opcode_for
+            children_of = _scv_children
+        else:
+            opcode_for = core_opcode_for
+            children_of = _core_children
+        pending = [program_root]
+        out = []
+        try:
+            for stored in stored_units:
+                if not pending:
+                    return None
+                root = pending.pop(0)
+                nodes = _walk_unit(root, children_of, pending)
+                instrs = stored["instructions"]
+                if len(instrs) != len(nodes):
+                    return None
+                decoded = []
+                for node, enc in zip(nodes, instrs):
+                    if enc[0] != opcode_for(node):
+                        return None
+                    decoded.append(
+                        tuple([enc[0]] + [_decode(op, nodes)
+                                          for op in enc[1:]])
+                    )
+                out.append(CompiledUnit(str(stored.get("kind", "module")),
+                                        root, tuple(decoded), tuple(nodes)))
+        except (KeyError, IndexError, TypeError, _EncodeError):
+            return None
+        if pending:  # fewer stored units than reachable lambdas
+            return None
+        return out
+
+
+# -- traversal shape (must mirror the lowering pass's children) ----------
+
+
+def _scv_children(e):
+    """(in-unit children, lambda body or None) for one scv node."""
+    from ..lang.ast import (
+        UApp,
+        UBegin,
+        UIf,
+        ULam,
+        ULetrec,
+        USet,
+    )
+    from ..scv.machine import UMon
+
+    cls = e.__class__
+    if cls is ULam:
+        return (), e.body
+    if cls is UIf:
+        return (e.test, e.then, e.orelse), None
+    if cls is UBegin:
+        return e.exprs, None
+    if cls is ULetrec:
+        return tuple(b[1] for b in e.bindings) + (e.body,), None
+    if cls is USet:
+        return (e.value,), None
+    if cls is UApp:
+        return (e.fn,) + e.args, None
+    if cls is UMon:
+        return (e.contract, e.value), None
+    return (), None
+
+
+def _core_children(e):
+    from ..core.syntax import App, Fix, If, Lam, PrimApp
+
+    cls = e.__class__
+    if cls is Lam:
+        return (), e.body
+    if cls is Fix:
+        return (e.body,), None
+    if cls is If:
+        return (e.test, e.then, e.orelse), None
+    if cls is App:
+        return (e.fn, e.arg), None
+    if cls is PrimApp:
+        return e.args, None
+    return (), None

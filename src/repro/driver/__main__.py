@@ -126,6 +126,20 @@ def _add_budget_flags(p: argparse.ArgumentParser) -> None:
         "is already saturating cores and its workers cannot fork)",
     )
     p.add_argument(
+        "--compile", dest="compile", action="store_true", default=None,
+        help="lower each program to flat bytecode and expand states "
+        "with the fused dispatch loop (byte-identical verdicts and "
+        "counterexamples; the default). Resolution: --compile/"
+        "--no-compile > the REPRO_COMPILE environment variable "
+        "(0/false = off) > on",
+    )
+    p.add_argument(
+        "--no-compile", dest="compile", action="store_false",
+        help="run the step-at-a-time machines instead of the bytecode "
+        "dispatch loop (the differential oracle; verdicts must be "
+        "identical)",
+    )
+    p.add_argument(
         "--no-memo", action="store_true",
         help="disable state-fingerprint memoisation and the solver-query "
         "cache (the pre-kernel micro-step search; for A/B comparison)",
@@ -168,6 +182,17 @@ def _shards(args: argparse.Namespace) -> int:
     return max(1, _env_int("REPRO_SHARDS", 1))
 
 
+def _compile_enabled(args: argparse.Namespace) -> bool:
+    """Resolve bytecode compilation: --compile/--no-compile >
+    $REPRO_COMPILE (0/false/off/no = off) > on."""
+    if getattr(args, "compile", None) is not None:
+        return args.compile
+    raw = os.environ.get("REPRO_COMPILE")
+    if raw is None or not raw.strip():
+        return _DEFAULTS.compile
+    return raw.strip().lower() not in ("0", "false", "off", "no")
+
+
 def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
     return RunConfig(
         max_states=args.max_states,
@@ -180,6 +205,7 @@ def _config(args: argparse.Namespace, jobs: int = 1) -> RunConfig:
         incremental=not args.no_incremental,
         store_dir=_store_dir(args),
         shards=_shards(args),
+        compile=_compile_enabled(args),
     )
 
 

@@ -73,6 +73,13 @@ GATED = (
     # wall-clock budget (``--max-regress-wall``): it is a timing, and on
     # shared CI runners single-row noise is even larger than total-noise.
     ("max_wall_ms", "slowest program wall (ms)"),
+    # Schema v8: executed micro-steps in the bytecode dispatch loop.
+    # Deterministic per (corpus, configuration), like states_explored: a
+    # regression means chains got shorter (less work fused per macro
+    # state) or the executor started delegating transitions it used to
+    # run inline.  Pre-v8 baselines and interpreted runs carry no (or a
+    # zero) value, which the missing/zero guard below SKIPs cleanly.
+    ("dispatch_steps", "dispatch steps"),
 )
 
 #: (key, pretty name) of ratchet totals: any decrease fails the gate.

@@ -7,8 +7,8 @@ serialised as ``BENCH_driver.json``.  The JSON shape is versioned
 of the benchmark file are meaningful and the perf trajectory can be
 tracked across commits.
 
-Schema ``repro-bench/v7`` (the sharded-search revision; supersedes the
-persistent-store ``v6``):
+Schema ``repro-bench/v8`` (the bytecode-compilation revision;
+supersedes the sharded-search ``v7``):
 
 * every program row carries a ``backend`` field (``core`` or ``scv``);
 * rows and totals carry the search kernel's economy counters:
@@ -74,7 +74,18 @@ persistent-store ``v6``):
   ``deadline_enforced`` — False when a positive wall-clock budget could
   not be armed (no ``SIGALRM``, or the caller was not the main thread),
   instead of the budget being silently dropped.  Volatile: it describes
-  the execution environment, not the program.
+  the execution environment, not the program;
+* new in v8 — the bytecode-compilation counters from
+  :mod:`repro.compile`: per row, ``compiled_units`` (instruction
+  streams lowered for the program — the module/main unit plus one per
+  lambda), ``compile_ms`` (lowering or cache-load time) and
+  ``dispatch_steps`` (micro-steps executed by the fused dispatch loop).
+  All three are zero on ``--no-compile`` runs, and hence *volatile* for
+  differential purposes: compiled and interpreted rows must be
+  byte-identical outside the volatile set — that identity is the
+  compile oracle.  Totals sum all three, and ``dispatch_steps`` joins
+  the perf-gate ratchets (skipped cleanly on pre-v8 or interpreted
+  baselines where the total is missing or zero).
 """
 
 from __future__ import annotations
@@ -83,7 +94,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-SCHEMA = "repro-bench/v7"
+SCHEMA = "repro-bench/v8"
 
 # Terminal statuses a verification attempt can end in.
 STATUS_SAFE = "safe"  # search exhausted, no (modelable) error
@@ -125,6 +136,12 @@ VOLATILE_ROW_FIELDS = frozenset({
     # execution-environment fact, not a property of the program: a
     # threaded caller's row must still compare equal to a process row.
     "deadline_enforced",
+    # The bytecode-compilation counters (repro.compile): a compiled run
+    # must agree with the interpreted run on everything *except* that it
+    # compiled — these three are zero with --no-compile.
+    "compiled_units",
+    "compile_ms",
+    "dispatch_steps",
 })
 
 
@@ -184,6 +201,9 @@ class ProgramResult:
     frontier_exchanges: int = 0  # successors routed to a different shard
     shard_states: list = field(default_factory=list)  # per-shard expansions
     deadline_enforced: bool = True  # was the wall-clock budget actually armed
+    compiled_units: int = 0  # instruction streams lowered (0: interpreted)
+    compile_ms: float = 0.0  # lowering / cache-load time
+    dispatch_steps: int = 0  # micro-steps run by the fused dispatch loop
     counterexample: Optional[CexReport] = None
     detail: str = ""
 
@@ -247,6 +267,9 @@ def _totals(results: list[ProgramResult]) -> dict:
         "modules_reverified": sum(r.modules_reverified for r in results),
         "stolen_tasks": sum(r.stolen_tasks for r in results),
         "frontier_exchanges": sum(r.frontier_exchanges for r in results),
+        "compiled_units": sum(r.compiled_units for r in results),
+        "compile_ms": round(sum(r.compile_ms for r in results), 1),
+        "dispatch_steps": sum(r.dispatch_steps for r in results),
         "wall_ms": round(sum(r.wall_ms for r in results), 1),
         # The slowest single program row: the wall-clock target of
         # in-program sharding (ROADMAP: "the wall-clock of the slowest

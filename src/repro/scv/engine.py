@@ -241,6 +241,12 @@ class USearchStats:
     stolen_tasks: int = 0
     frontier_exchanges: int = 0
     shard_states: tuple = ()
+    # Bytecode-compilation extras (see repro.compile); all zero on
+    # interpreted runs.  ``dispatch_steps`` counts executed micro-steps
+    # in the dispatch loop — deterministic for a given configuration.
+    compiled_units: int = 0
+    compile_ms: float = 0.0
+    dispatch_steps: int = 0
 
 
 def explore_u(
@@ -252,18 +258,31 @@ def explore_u(
     strategy: str = "bfs",
     memo: bool = True,
     shards: int = 1,
+    compiled: bool = False,
+    compile_cache=None,
 ) -> Iterator[SState]:
     """Search over machine states, yielding answer states (values and
     blame) in ``strategy`` order; ``memo=False`` disables fingerprint
     pruning (the exact pre-kernel behaviour).  ``shards > 1`` runs the
     bfs frontier sharded across forked processes
     (``repro.search.parallel``) with byte-identical output; requires
-    memoisation, falls back to sequential otherwise."""
+    memoisation, falls back to sequential otherwise.  ``compiled``
+    lowers the assembled program once (``repro.compile``) and expands
+    states with the fused dispatch loop instead of the step-at-a-time
+    machine — byte-identical results; ``compile_cache`` optionally
+    reuses the lowered units across runs of the same program digest."""
     # Imported lazily: repro.search.fingerprint imports this package at
     # module level, so a module-level import here would be circular.
     from ..search import ScvFingerprinter, SearchKernel, ShardedSearch
 
     st = stats if stats is not None else USearchStats()
+    expander = None
+    if compiled:
+        from ..compile import ScvExecutor
+
+        expander = ScvExecutor(
+            machine, init.control, stats=st, cache=compile_cache
+        ).expand
     if shards > 1 and strategy == "bfs" and memo:
         proof = machine.proof
         kernel = ShardedSearch(
@@ -273,10 +292,16 @@ def explore_u(
             max_states=max_states,
             enter=proof.note_path,
             stats=st,
-            counter_probe=lambda: (proof.queries, proof.solver_queries),
+            expander=expander,
+            # ``dispatch_steps`` rides the deterministic counter replay
+            # (see core.search.explore) so sharded totals match.
+            counter_probe=lambda: (
+                proof.queries, proof.solver_queries, st.dispatch_steps,
+            ),
             counter_sink=lambda c: (
                 setattr(proof, "queries", c[0]),
                 setattr(proof, "solver_queries", c[1]),
+                setattr(st, "dispatch_steps", c[2]),
             ),
         )
     else:
@@ -285,6 +310,7 @@ def explore_u(
             strategy=strategy,
             fingerprint=ScvFingerprinter() if memo else None,
             max_states=max_states,
+            expander=expander,
             enter=machine.proof.note_path,  # per-path solver context hook
             stats=st,
         )
@@ -305,12 +331,15 @@ def find_known_blames(
     strategy: str = "bfs",
     memo: bool = True,
     shards: int = 1,
+    compiled: bool = False,
+    compile_cache=None,
 ) -> Iterator[SState]:
     """Answer states blaming *known* code — errors from the unknown
     context (synthetic labels, ``•`` parties) are not findings."""
     for state in explore_u(
         init, machine, max_states=max_states, stats=stats,
-        strategy=strategy, memo=memo, shards=shards,
+        strategy=strategy, memo=memo, shards=shards, compiled=compiled,
+        compile_cache=compile_cache,
     ):
         c = state.control
         if isinstance(c, Blame) and c.known:

@@ -105,6 +105,18 @@ class SearchKernel:
       pre-kernel behaviour);
     * ``subsume`` — also prune refinement-subsumed states (ignored
       without a fingerprinter);
+    * ``expander`` — optional fused expansion function
+      ``(state, chain_limit) -> (final_state, successors, chained)``
+      replacing the step-at-a-time ``_expand`` loop.  This is how the
+      bytecode executors (``repro.compile``) plug in: they run the
+      deterministic chain in a dispatch loop over compiled instructions,
+      materialising a full machine state only at the observable points —
+      the returned ``final_state`` and ``successors`` — with exactly the
+      step machine's semantics (the contract the differential oracle in
+      ``tests/test_differential.py`` enforces).  ``chained`` is the
+      number of single-successor micro-steps folded in, counted exactly
+      like the default loop; a ``chain_limit`` of 0 means "no chaining"
+      (one step), which is what a memo-less kernel passes;
     * ``enter`` — optional callback invoked with every state the kernel
       pops for expansion, before it is stepped.  This is how a path-
       aware layer below the step function — the proof systems' per-path
@@ -128,6 +140,7 @@ class SearchKernel:
         compress: Optional[bool] = None,
         chain_limit: int = 128,
         max_states: int = 50_000,
+        expander: Optional[Callable] = None,
         enter: Optional[Callable] = None,
         stats=None,
     ) -> None:
@@ -146,6 +159,7 @@ class SearchKernel:
             else (compress and fingerprint is not None)
         self.chain_limit = chain_limit
         self.max_states = max_states
+        self.expander = expander
         self.enter = enter
         self.stats = stats if stats is not None else KernelStats()
         self._seen: set[Fingerprint] = set()
@@ -184,6 +198,12 @@ class SearchKernel:
         """Step ``state``, running any deterministic chain to its next
         choice point.  Returns ``(final_state, successors)`` where
         ``successors`` is ``None`` when ``final_state`` is an answer."""
+        if self.expander is not None:
+            limit = self.chain_limit if self.compress else 0
+            state, succs, chained = self.expander(state, limit)
+            if chained and hasattr(self.stats, "chained"):
+                self.stats.chained += chained
+            return state, succs
         succs = self.step(state)
         if not self.compress:
             return state, succs

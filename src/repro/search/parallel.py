@@ -171,6 +171,7 @@ class ShardedSearch:
         subsume: bool = True,
         chain_limit: int = 128,
         max_states: int = 50_000,
+        expander: Optional[Callable] = None,
         enter: Optional[Callable] = None,
         stats=None,
         counter_probe: Optional[Callable] = None,
@@ -189,6 +190,9 @@ class ShardedSearch:
         self.subsume = subsume
         self.chain_limit = chain_limit
         self.max_states = max_states
+        # Fused expansion (the bytecode executors); forked workers
+        # inherit it with the machine, so compiled and sharded compose.
+        self.expander = expander
         self.enter = enter
         self.stats = stats if stats is not None else ShardStats()
         self.counter_probe = counter_probe
@@ -216,6 +220,7 @@ class ShardedSearch:
             subsume=self.subsume,
             chain_limit=self.chain_limit,
             max_states=self.max_states,
+            expander=self.expander,
             enter=self.enter,
             stats=self.stats,
         )
@@ -471,6 +476,7 @@ class ShardedSearch:
                 fingerprint=self.fingerprint,
                 subsume=self.subsume,
                 chain_limit=self.chain_limit,
+                expander=self.expander,
             )
             while True:
                 msg = in_q.get()

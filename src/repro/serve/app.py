@@ -11,7 +11,7 @@ store directory.  Endpoints (full reference: docs/SERVER.md):
   replay, no worker round-trip, byte-identical rows to a batch run);
   otherwise the job is queued and the response carries its id;
 * ``GET /v1/jobs/<id>`` — job status + (once done) its
-  ``repro-bench/v7`` result rows; ``GET /v1/jobs`` lists summaries;
+  ``repro-bench/v8`` result rows; ``GET /v1/jobs`` lists summaries;
 * ``GET /v1/results/<digest>`` — stored verdict entries by program
   digest (or entry-hash prefix), straight from the store;
 * ``GET /v1/healthz`` — liveness (503 once every worker is gone);
@@ -129,9 +129,11 @@ class ServeApp:
 
     def results_for(self, digest: str) -> dict:
         """Stored verdict entries whose program digest — or entry-hash
-        file name — starts with ``digest``.  A linear scan of the
-        verdict directory: fine at corpus scale, and the entry files
-        are the source of truth (no second index to corrupt)."""
+        file name — starts with ``digest``.  Resolved through the
+        store's digest index sidecar (``verdicts.index.jsonl``), so only
+        the matching entry files are opened; the entry files stay the
+        source of truth and the sidecar is rebuilt from them whenever it
+        is missing, corrupt, or stale."""
         if len(digest) < MIN_DIGEST_PREFIX or not all(
             c in "0123456789abcdef" for c in digest
         ):
@@ -139,7 +141,7 @@ class ServeApp:
                 f"digest must be >= {MIN_DIGEST_PREFIX} hex characters"
             )
         matches = []
-        for path in self.store.entry_paths():
+        for path in self.store.paths_for_digest(digest):
             base = os.path.basename(path)[: -len(".json")]
             try:
                 with open(path, encoding="utf-8") as fh:
@@ -148,17 +150,14 @@ class ServeApp:
                 result = entry["result"]
             except (OSError, json.JSONDecodeError, KeyError, TypeError):
                 continue
-            if base.startswith(digest) or str(
-                key.get("program", "")
-            ).startswith(digest):
-                matches.append({
-                    "entry": base,
-                    "key": key,
-                    "name": entry.get("name"),
-                    "kind": entry.get("kind"),
-                    "created": entry.get("created"),
-                    "result": result,
-                })
+            matches.append({
+                "entry": base,
+                "key": key,
+                "name": entry.get("name"),
+                "kind": entry.get("kind"),
+                "created": entry.get("created"),
+                "result": result,
+            })
         return {"api": API_VERSION, "digest": digest, "matches": matches}
 
     # -- health ----------------------------------------------------------

@@ -3,7 +3,7 @@
 One JSON dialect, versioned as ``repro-serve/v1``, shared by the HTTP
 layer (:mod:`repro.serve.app`), the client tooling
 (``tools/serve_smoke.py``) and the tests.  Result rows inside job views
-are the batch runner's ``repro-bench/v7`` rows verbatim
+are the batch runner's ``repro-bench/v8`` rows verbatim
 (:class:`repro.driver.report.ProgramResult` as a dict), so a report
 assembled from served jobs diffs cleanly against a batch report with
 ``tools/diff_reports.py``.
@@ -49,6 +49,7 @@ REQUEST_CONFIG_FIELDS: dict[str, type] = {
     "strategy": str,
     "memo": bool,
     "incremental": bool,
+    "compile": bool,
 }
 
 _BACKEND_CHOICES = ("core", "scv", "both")
@@ -128,7 +129,7 @@ def parse_verify_request(body) -> dict:
 def job_view(job, *, include_rows: bool = True) -> dict:
     """The public JSON shape of a job (``GET /v1/jobs/<id>``).
 
-    ``rows`` — present once the job is done — are ``repro-bench/v7``
+    ``rows`` — present once the job is done — are ``repro-bench/v8``
     result rows, one per engine the backend selection expanded to."""
     view = {
         "api": API_VERSION,

@@ -102,6 +102,7 @@ class VerdictStore:
     def __init__(self, root: str) -> None:
         self.root = root
         self.verdict_dir = os.path.join(root, "verdicts")
+        self.index_path = os.path.join(root, "verdicts.index.jsonl")
         self.solver = SolverStore(os.path.join(root, "solver"))
 
     # -- entries ---------------------------------------------------------
@@ -156,6 +157,96 @@ class VerdictStore:
             json.dump(entry, fh, indent=1, sort_keys=True)
             fh.write("\n")
         os.replace(tmp, path)
+        self._index_append(key)
+
+    # -- digest index ----------------------------------------------------
+    #
+    # ``verdicts.index.jsonl`` maps program digests to entry files so a
+    # by-digest lookup (``repro serve``'s GET /v1/results/<digest>)
+    # opens only the matching entries instead of every file in the
+    # store.  It is a *sidecar*: append-only, best-effort, and rebuilt
+    # from the entry files — which stay the source of truth — whenever
+    # it is missing, unreadable, or stale (a referenced entry vanished,
+    # e.g. after gc).
+
+    def _index_append(self, key: StoreKey) -> None:
+        line = json.dumps(
+            {"program": key.program, "entry": key.path_name()},
+            sort_keys=True,
+        )
+        try:
+            with open(self.index_path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        except OSError:
+            pass  # the index is advisory; lookups rebuild it
+
+    def _index_read(self) -> Optional[dict[str, str]]:
+        """entry-hash -> program digest, or None when the sidecar is
+        missing or corrupt (any unparsable or mis-shaped line)."""
+        try:
+            with open(self.index_path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError:
+            return None
+        out: dict[str, str] = {}
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+                program, entry = rec["program"], rec["entry"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                return None
+            if not isinstance(program, str) or not isinstance(entry, str):
+                return None
+            out[entry] = program
+        return out
+
+    def rebuild_index(self) -> dict[str, str]:
+        """Regenerate the sidecar from the entry files."""
+        out: dict[str, str] = {}
+        for path in self.entry_paths():
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    program = json.load(fh)["key"]["program"]
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                continue
+            if isinstance(program, str):
+                out[os.path.basename(path)[: -len(".json")]] = program
+        tmp = f"{self.index_path}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for entry in sorted(out):
+                    fh.write(json.dumps(
+                        {"program": out[entry], "entry": entry},
+                        sort_keys=True,
+                    ) + "\n")
+            os.replace(tmp, self.index_path)
+        except OSError:
+            pass
+        return out
+
+    def paths_for_digest(self, digest: str) -> list[str]:
+        """Entry files whose program digest — or entry-hash file name —
+        starts with ``digest``, via the sidecar index.  Stale mappings
+        (entry gc'd since the line was written) trigger one rebuild."""
+        index = self._index_read()
+        if index is None:
+            index = self.rebuild_index()
+        for _attempt in range(2):
+            matches = [
+                entry for entry, program in sorted(index.items())
+                if entry.startswith(digest) or program.startswith(digest)
+            ]
+            paths = [
+                os.path.join(self.verdict_dir, entry[:2], entry + ".json")
+                for entry in matches
+            ]
+            missing = [p for p in paths if not os.path.exists(p)]
+            if not missing:
+                return paths
+            index = self.rebuild_index()
+        return [p for p in paths if os.path.exists(p)]
 
     def entry_paths(self) -> list[str]:
         out = []
@@ -280,7 +371,7 @@ _SUMMED_FIELDS = (
     "states_explored", "proof_queries", "solver_queries", "pruned_states",
     "solver_cache_hits", "chained_steps", "solver_fresh_solves",
     "solver_incremental", "solver_clauses_reused", "errors_found",
-    "cex_attempts",
+    "cex_attempts", "compiled_units", "compile_ms", "dispatch_steps",
 )
 
 
@@ -425,7 +516,15 @@ def _store_verify(
                     unit_source,
                     name=unit_name,
                     kind=kind,
-                    config=replace(cfg, client_of=client_of, store_dir=None),
+                    # Unit runs drop store_dir (no nested store lookups)
+                    # but keep the store's compiled-unit cache, so the
+                    # lowered bytecode for a program digest is shared
+                    # across units and across warm restarts.
+                    config=replace(
+                        cfg, client_of=client_of, store_dir=None,
+                        compile_cache_dir=os.path.join(
+                            store.root, "compiled"),
+                    ),
                 )
                 misses += 1
                 if row.status != STATUS_ERROR:

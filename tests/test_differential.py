@@ -13,6 +13,15 @@ Two properties, one per program population:
   unknown with sample values and demanding the interpreter cannot be
   made to fault.
 
+Both populations additionally serve as the **compile oracle**: every
+fuzzed program is re-verified with the bytecode executor
+(``compile=True``) against the step machine (``compile=False``) and the
+result rows must match byte-for-byte outside the volatile fields — the
+step machines are the semantics of record and the compiler must never
+drift from them.  ``REPRO_FUZZ_N`` scales both populations (nightly
+runs crank it up; the seed is fixed so any size is reproducible) and
+``REPRO_SHARDS`` routes everything through the sharded frontier.
+
 Any disagreement is *shrunk*: subterms are repeatedly replaced with
 smaller ones while the disagreement persists, and the minimal program
 is what the assertion message reports.
@@ -33,18 +42,32 @@ skips rather than failures.
 
 import os
 import random
+from dataclasses import asdict, replace
 
 import pytest
 
 from repro.conc.interp import Interp, InterpTimeout, PrimBlame, RuntimeFault
+from repro.driver.report import STATUS_TIMEOUT, VOLATILE_ROW_FIELDS
 from repro.driver.runner import RunConfig, verify_source
 from repro.lang.ast import reset_labels
 from repro.lang.parser import parse_program
 from repro.scv.counterexample import opaque_labels
 
 SEED = 20260726
-N_CLOSED = 140
-N_OPEN = 60
+
+
+def _env_int(var: str, default: int) -> int:
+    try:
+        return max(1, int(os.environ.get(var, "") or default))
+    except ValueError:
+        return default
+
+
+#: ``REPRO_FUZZ_N`` scales the whole fuzz (a nightly knob: the default
+#: is the PR-sized population, nightly runs crank it up; the seed stays
+#: fixed so any population size is reproducible).
+N_CLOSED = _env_int("REPRO_FUZZ_N", 140)
+N_OPEN = max(10, (N_CLOSED * 3) // 7)
 FUEL = 200_000
 
 def _env_shards() -> int:
@@ -59,6 +82,36 @@ def _env_shards() -> int:
 
 
 CFG = RunConfig(timeout_s=0, fuel=FUEL, shards=_env_shards())
+
+
+def _stable(row) -> dict:
+    """A result row minus the volatile fields: the byte-identity
+    surface the compiled executor must reproduce."""
+    d = asdict(row)
+    return {k: v for k, v in d.items() if k not in VOLATILE_ROW_FIELDS}
+
+
+def compile_divergence(source: str, cfg: RunConfig = CFG):
+    """None when the bytecode executor and the step machine produce
+    identical rows (volatile fields aside); otherwise a description.
+    Timeout rows are skipped — which row a wall-clock budget truncates
+    is scheduling, not semantics."""
+    ri = verify_source(
+        source, backend="core", config=replace(cfg, compile=False)
+    )
+    rc = verify_source(
+        source, backend="core", config=replace(cfg, compile=True)
+    )
+    if STATUS_TIMEOUT in (ri.status, rc.status):
+        return None
+    si, sc = _stable(ri), _stable(rc)
+    if si == sc:
+        return None
+    keys = sorted(k for k in si if si[k] != sc[k])
+    return (
+        "compiled row diverges from interpreted on "
+        + ", ".join(f"{k}: {si[k]!r} != {sc[k]!r}" for k in keys)
+    )
 
 # ---------------------------------------------------------------------------
 # Program generator — a tiny nat-sorted tree grammar
@@ -274,6 +327,17 @@ def _report_failure(tree, why: str, population: str):
     )
 
 
+def _report_compile_failure(tree, why: str, population: str, cfg: RunConfig):
+    minimal = shrink(
+        tree, lambda c: compile_divergence(render(c), cfg) is not None
+    )
+    pytest.fail(
+        f"[{population}] compiled executor diverges on\n  {render(minimal)}\n"
+        f"original ({size(tree)} nodes): {render(tree)}\n"
+        f"divergence: {compile_divergence(render(minimal), cfg) or why}"
+    )
+
+
 class TestClosedPrograms:
     def test_conc_and_core_agree_on_140_random_closed_programs(self):
         rng = random.Random(SEED)
@@ -283,6 +347,9 @@ class TestClosedPrograms:
             why = disagreement(render(tree))
             if why is not None:
                 _report_failure(tree, why, "closed")
+            why = compile_divergence(render(tree))
+            if why is not None:
+                _report_compile_failure(tree, why, "closed", CFG)
             checked += 1
         assert checked == N_CLOSED
 
@@ -317,6 +384,9 @@ class TestOpenPrograms:
             tree = gen(rng, depth=4, env=(), allow_opq=True)
             source = render(tree)
             r = verify_source(source, backend="core", config=cfg)
+            why = compile_divergence(source, cfg)
+            if why is not None:
+                _report_compile_failure(tree, why, "open", cfg)
             if r.status == "counterexample":
                 cexs += 1
                 cex = r.counterexample

@@ -120,6 +120,7 @@ PROGRAM_KEYS = {
     "solver_clauses_reused", "solver_scope_depth", "errors_found",
     "cex_attempts", "store_hits", "store_misses", "modules_reverified",
     "shards", "stolen_tasks", "frontier_exchanges", "shard_states",
+    "compiled_units", "compile_ms", "dispatch_steps",
     "deadline_enforced", "counterexample", "detail",
 }
 CEX_KEYS = {
@@ -133,7 +134,8 @@ TOTALS_KEYS = {
     "solver_cache_hits", "solver_fresh_solves", "solver_incremental",
     "solver_clauses_reused", "solver_scope_depth", "store_hits",
     "store_misses", "modules_reverified", "stolen_tasks",
-    "frontier_exchanges", "wall_ms", "max_wall_ms",
+    "frontier_exchanges", "compiled_units", "compile_ms", "dispatch_steps",
+    "wall_ms", "max_wall_ms",
 }
 AGREEMENT_KEYS = {
     "shared_programs", "agreed", "inconclusive", "disagreements",

@@ -193,6 +193,82 @@ class TestSchemaValidation:
         )
 
 
+class TestDispatchStepsGate:
+    """Schema v8: executed micro-steps in the bytecode dispatch loop.
+    Deterministic per (corpus, configuration), so it is gated like
+    ``states_explored`` — more steps per macro state means chains got
+    shorter or the executor started delegating transitions it used to
+    run inline."""
+
+    def test_dispatch_regression_fails(self):
+        lines = compare(
+            {"dispatch_steps": 1000},
+            {"dispatch_steps": 1500},
+            0.20,
+        )
+        assert any(
+            line.startswith("FAIL") and "dispatch" in line for line in lines
+        )
+
+    def test_dispatch_within_budget_passes(self):
+        lines = compare(
+            {"dispatch_steps": 1000},
+            {"dispatch_steps": 1100},
+            0.20,
+        )
+        assert not any(line.startswith("FAIL") for line in lines)
+
+    def test_pre_v8_baseline_is_skipped(self):
+        # A baseline written before the compiler existed carries no
+        # dispatch count at all; upgrading must not fail CI.
+        lines = compare(
+            {"states_explored": 100, "wall_ms": 1000},
+            {"states_explored": 100, "wall_ms": 1000,
+             "dispatch_steps": 5000},
+            0.20,
+        )
+        assert any(
+            line.startswith("SKIP") and "dispatch" in line for line in lines
+        )
+        assert not any(line.startswith("FAIL") for line in lines)
+
+    def test_interpreted_baseline_zero_is_skipped(self):
+        # A --no-compile baseline records dispatch_steps: 0 — nothing
+        # to ratio against, so the gate skips instead of dividing.
+        lines = compare(
+            {"dispatch_steps": 0},
+            {"dispatch_steps": 5000},
+            0.20,
+        )
+        assert any(
+            line.startswith("SKIP") and "dispatch" in line for line in lines
+        )
+        assert not any(line.startswith("FAIL") for line in lines)
+
+    def test_garbage_dispatch_value_fails_with_a_name(self):
+        lines = compare(
+            {"dispatch_steps": 1000},
+            {"dispatch_steps": "many"},
+            0.20,
+        )
+        assert any(
+            line.startswith("FAIL") and "dispatch steps" in line
+            and "non-numeric" in line
+            for line in lines
+        )
+
+    def test_garbage_report_still_exits_2_with_offender(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps({
+            "schema": "repro-bench/v8", "totals": "not-a-dict",
+        }))
+        fresh = _report(tmp_path, "fresh.json", 100, 1000)
+        assert main([str(base), str(fresh)]) == 2
+        err = capsys.readouterr().err
+        assert "base.json" in err  # the offender is named
+        assert "Traceback" not in err
+
+
 class TestWallThreshold:
     def test_separate_wall_budget(self):
         base = {"states_explored": 100, "wall_ms": 1000}

@@ -314,6 +314,98 @@ class TestServeHTTP:
         assert stats["workers"]["alive"] == 2
 
 
+class TestDigestIndex:
+    """``GET /v1/results/<digest>`` is served through a sidecar index
+    (``verdicts.index.jsonl``) instead of a linear scan of every entry
+    file; the entry files stay the source of truth, so the answers must
+    be identical to a full scan with the index in *any* state —
+    present, missing, corrupt, or stale."""
+
+    @staticmethod
+    def _populate(store_dir: str) -> None:
+        cfg = RunConfig(timeout_s=60.0, store_dir=store_dir)
+        verify_source(CHAIN, name="chain", kind="buggy",
+                      config=cfg, backend="scv")
+        verify_source(TRIPLE, name="triple", kind="?",
+                      config=cfg, backend="scv")
+
+    @staticmethod
+    def _linear_scan(store, digest: str) -> list:
+        paths = []
+        for path in store.entry_paths():
+            base = os.path.basename(path)[: -len(".json")]
+            with open(path, encoding="utf-8") as fh:
+                program = json.load(fh)["key"]["program"]
+            if base.startswith(digest) or program.startswith(digest):
+                paths.append(path)
+        return paths
+
+    def test_index_answers_match_a_linear_scan(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        self._populate(store_dir)
+        store = get_store(store_dir)
+        assert os.path.exists(store.index_path)  # put() maintains it
+        with open(store.entry_paths()[0], encoding="utf-8") as fh:
+            digest = json.load(fh)["key"]["program"][:12]
+        want = self._linear_scan(store, digest)
+        assert want  # the prefix matches something
+        assert store.paths_for_digest(digest) == want
+        # An entry-hash prefix resolves too.
+        entry = os.path.basename(store.entry_paths()[0])[:12]
+        assert store.paths_for_digest(entry) == \
+            self._linear_scan(store, entry)
+
+    def test_missing_index_is_rebuilt(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        self._populate(store_dir)
+        store = get_store(store_dir)
+        with open(store.entry_paths()[0], encoding="utf-8") as fh:
+            digest = json.load(fh)["key"]["program"][:12]
+        want = self._linear_scan(store, digest)
+        os.unlink(store.index_path)
+        assert store.paths_for_digest(digest) == want
+        assert os.path.exists(store.index_path)  # rebuilt on disk
+
+    def test_corrupt_index_is_rebuilt(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        self._populate(store_dir)
+        store = get_store(store_dir)
+        with open(store.entry_paths()[0], encoding="utf-8") as fh:
+            digest = json.load(fh)["key"]["program"][:12]
+        want = self._linear_scan(store, digest)
+        for garbage in ("not json\n", '{"program": 7}\n', '{"entry": "x"}\n'):
+            with open(store.index_path, "w", encoding="utf-8") as fh:
+                fh.write(garbage)
+            assert store.paths_for_digest(digest) == want
+
+    def test_stale_index_is_rebuilt_after_entry_deletion(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        self._populate(store_dir)
+        store = get_store(store_dir)
+        victim = store.entry_paths()[0]
+        with open(victim, encoding="utf-8") as fh:
+            digest = json.load(fh)["key"]["program"][:12]
+        assert victim in store.paths_for_digest(digest)
+        os.unlink(victim)  # the index line is now stale
+        got = store.paths_for_digest(digest)
+        assert victim not in got
+        assert got == self._linear_scan(store, digest)
+
+    def test_results_endpoint_survives_a_deleted_index(self, server):
+        server.wait_done(server.request(
+            "/v1/verify", {"source": CHAIN, "backend": "scv"}
+        )[1]["job"]["id"])
+        store = get_store(server.root)
+        entry = os.path.basename(store.entry_paths()[0])
+        prefix = entry[:12]
+        code, with_index = server.request(f"/v1/results/{prefix}")
+        assert code == 200 and with_index["matches"]
+        os.unlink(store.index_path)
+        code, without = server.request(f"/v1/results/{prefix}")
+        assert code == 200
+        assert without == with_index
+
+
 class TestCrashRetry:
     @staticmethod
     def _patched_server(tmp_path, monkeypatch, run_job_fn):
