@@ -65,6 +65,7 @@ from ..core.syntax import (
     subst,
 )
 from ..lang.values import VOID
+from ..prims import REGISTRY as _PRIM_REGISTRY
 from ..scv.delta import OBlame, OEval, OLoc, OValue, delta_u
 from ..scv.heap import TAG_BOOLEAN, UAlias, UClos, UConc, UOpq, UPrim
 from ..scv.machine import (
@@ -99,6 +100,14 @@ from .lower import (
     lower_scv,
     lower_scv_unit,
 )
+
+#: Names the inline δ fast path may handle directly.  Sourced from the
+#: primitive registry (layer four of its consumers) so the executor's
+#: dispatch set cannot drift from the declarations; per-program struct
+#: predicates/accessors are checked against ``m.struct_prims`` at the
+#: call site.  Anything else (a shadowed or unknown name) delegates to
+#: the machine's general step for the canonical treatment.
+_INLINE_UPRIM_NAMES = frozenset(_PRIM_REGISTRY)
 
 
 class _ExecutorBase:
@@ -280,7 +289,10 @@ class ScvExecutor(_ExecutorBase):
                             chained += 1
                             cur = None
                             continue
-                        if s.__class__ is UPrim:
+                        if s.__class__ is UPrim and (
+                            s.name in _INLINE_UPRIM_NAMES
+                            or s.name in m.struct_prims
+                        ):
                             # δ on a primitive: run it in place and
                             # adopt the (very common) single outcome —
                             # the transition δ produces is exactly what

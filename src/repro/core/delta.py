@@ -12,6 +12,17 @@ branch of ``zero?``, we always *add* a refinement instead of overwriting:
 the worked example of §2 keeps both ``x = 0`` and ``x = (100 - L4)`` on
 the heap, and dropping previously recorded equalities would lose exactly
 the cross-location constraints counterexample construction needs.
+
+The dispatch tables are not written out by hand: SPCF's operator set is
+the slice of the primitive registry (``repro.prims``) whose declarations
+carry both a ``core_op`` name and an integer-refinement template.  Each
+template *kind* (arith / divlike / compare / offset / sign) has one
+interpreter below; the template's ``py`` callable supplies the core's
+integer semantics (deliberately Euclidean for ``div``/``mod``, diverging
+from Racket's truncating ``quotient``/``remainder`` — the registry
+declares both semantics, each consumer picks its own).  Tables build
+lazily on first δ-call so this module can be imported while the registry
+package is still initialising.
 """
 
 from __future__ import annotations
@@ -88,7 +99,7 @@ def delta_zero(proof: ProofSystem, heap: Heap, l: Loc) -> list[DeltaResult]:
 
 
 # ---------------------------------------------------------------------------
-# Total arithmetic
+# Template interpreters, one per Refinement kind
 # ---------------------------------------------------------------------------
 
 
@@ -107,30 +118,19 @@ def _arith(
     return handler
 
 
-delta_plus = _arith("+", lambda a, b: a + b)
-delta_minus = _arith("-", lambda a, b: a - b)
-delta_times = _arith("*", lambda a, b: a * b)
+def _offset(
+    op: str,
+) -> Callable[[ProofSystem, Heap, Loc], list[DeltaResult]]:
+    """``add1``/``sub1``: the ``±1`` special case of ``_arith``."""
 
+    def handler(proof: ProofSystem, heap: Heap, l: Loc) -> list[DeltaResult]:
+        v = _num(heap, l)
+        if v is not None:
+            return [DeltaResult.ok(heap, SNum(v + 1 if op == "+" else v - 1))]
+        term = HOp(op, (HLoc(l), HConst(1)))
+        return [DeltaResult.ok(heap, SOpq(NAT, (PEq(term),)))]
 
-def delta_add1(proof: ProofSystem, heap: Heap, l: Loc) -> list[DeltaResult]:
-    v = _num(heap, l)
-    if v is not None:
-        return [DeltaResult.ok(heap, SNum(v + 1))]
-    term = HOp("+", (HLoc(l), HConst(1)))
-    return [DeltaResult.ok(heap, SOpq(NAT, (PEq(term),)))]
-
-
-def delta_sub1(proof: ProofSystem, heap: Heap, l: Loc) -> list[DeltaResult]:
-    v = _num(heap, l)
-    if v is not None:
-        return [DeltaResult.ok(heap, SNum(v - 1))]
-    term = HOp("-", (HLoc(l), HConst(1)))
-    return [DeltaResult.ok(heap, SOpq(NAT, (PEq(term),)))]
-
-
-# ---------------------------------------------------------------------------
-# Partial arithmetic: div / mod
-# ---------------------------------------------------------------------------
+    return handler
 
 
 def _divlike(
@@ -163,10 +163,6 @@ def _divlike(
         ]
 
     return handler
-
-
-delta_div = _divlike("div", lambda a, b: a // b)
-delta_mod = _divlike("mod", lambda a, b: a % abs(b))
 
 
 # ---------------------------------------------------------------------------
@@ -225,43 +221,53 @@ def _compare(
     return handler
 
 
-delta_eq = _compare("=?", lambda a, b: a == b)
-delta_lt = _compare("<?", lambda a, b: a < b)
-delta_le = _compare("<=?", lambda a, b: a <= b)
-
-
 # ---------------------------------------------------------------------------
-# Dispatch table
+# Dispatch tables, derived from the registry
 # ---------------------------------------------------------------------------
 
-UNARY = {
-    "zero?": delta_zero,
-    "add1": delta_add1,
-    "sub1": delta_sub1,
-}
+_TABLES: Optional[tuple[dict, dict]] = None
 
-BINARY = {
-    "+": delta_plus,
-    "-": delta_minus,
-    "*": delta_times,
-    "div": delta_div,
-    "mod": delta_mod,
-    "=?": delta_eq,
-    "<?": delta_lt,
-    "<=?": delta_le,
-}
+
+def _tables() -> tuple[dict, dict]:
+    """``(unary, binary)`` handler tables, built from every registry
+    declaration that names a ``core_op`` and carries a refinement
+    template.  Lazy: the registry package imports parts of ``core``
+    while initialising, so the table cannot be built at import time."""
+    global _TABLES
+    if _TABLES is None:
+        from ..prims import REGISTRY
+
+        unary: dict[str, Callable] = {}
+        binary: dict[str, Callable] = {}
+        for s in REGISTRY.values():
+            r = s.refine
+            if s.core_op is None or r is None:
+                continue
+            if r.kind == "arith":
+                binary[s.core_op] = _arith(s.core_op, r.py)
+            elif r.kind == "divlike":
+                binary[s.core_op] = _divlike(s.core_op, r.py)
+            elif r.kind == "compare":
+                binary[s.core_op] = _compare(s.core_op, r.py)
+            elif r.kind == "offset":
+                unary[s.core_op] = _offset(r.op)
+            elif r.kind == "sign":
+                unary[s.core_op] = delta_zero
+        _TABLES = (unary, binary)
+    return _TABLES
 
 
 def delta(
     proof: ProofSystem, heap: Heap, op: str, locs: tuple[Loc, ...]
 ) -> list[DeltaResult]:
     """All δ-branches for ``op`` applied to ``locs`` under ``heap``."""
-    if op in UNARY:
+    unary, binary = _tables()
+    if op in unary:
         if len(locs) != 1:
             raise ValueError(f"{op} expects 1 argument")
-        return UNARY[op](proof, heap, locs[0])
-    if op in BINARY:
+        return unary[op](proof, heap, locs[0])
+    if op in binary:
         if len(locs) != 2:
             raise ValueError(f"{op} expects 2 arguments")
-        return BINARY[op](proof, heap, locs[0], locs[1])
+        return binary[op](proof, heap, locs[0], locs[1])
     raise ValueError(f"unknown primitive {op}")

@@ -63,6 +63,7 @@ from ..scv import (
     find_known_blames,
     inject_program,
     uses_contracts,
+    uses_extended_prims,
 )
 from ..scv.counterexample import canonical_blame_op
 from ..scv.counterexample import render_bindings as render_scv_bindings
@@ -490,6 +491,7 @@ class UntypedScvBackend:
         machine = SMachine(
             struct_types=collect_struct_types(program),
             assume_well_typed=not uses_contracts(program),
+            extended_prims=uses_extended_prims(program),
             proof=UProofSystem(incremental=cfg.incremental),
         )
         errors_found = 0

@@ -1,6 +1,6 @@
 """The seeded benchmark corpus.
 
-Sixty-six small higher-order programs in the surface syntax, arranged
+Seventy-eight small higher-order programs in the surface syntax, arranged
 as safe/buggy pairs in the style of the paper's §5 evaluation: each
 buggy variant seeds exactly the kind of fault the tool exists to find
 (a reachable partial-primitive application or contract violation), and
@@ -31,7 +31,15 @@ Four sections:
   the granularity population for the persistent store
   (:mod:`repro.store`): under ``--store`` each is decomposed into
   per-module verification units, and their verdicts are pinned to be
-  identical decomposed and whole (``tests/test_store.py``).
+  identical decomposed and whole (``tests/test_store.py``);
+* the **extended-family section** (12 programs, tag ``extended`` plus
+  ``strings``/``vectors``, backend ``scv`` only): the registry's
+  string/vector primitive family.  These programs trip the per-program
+  opt-in (``uses_extended_prims``) that binds the family's globals and
+  widens the opaque tag universe with ``vector``; their seeded faults
+  are out-of-range indices (``vector-ref``/``vector-set!``/
+  ``substring``) and definite tag violations (``string-append`` on a
+  number).
 
 Shared-subset discipline (see ``driver.lower``):
 
@@ -99,6 +107,18 @@ def _safe_scv(name, source, description, *tags):
 def _buggy_scv(name, source, description, *tags):
     return CorpusProgram(
         name, BUGGY, source, description, ("contracts", *tags), ("scv",)
+    )
+
+
+def _safe_ext(name, source, description, *tags):
+    return CorpusProgram(
+        name, SAFE, source, description, ("extended", *tags), ("scv",)
+    )
+
+
+def _buggy_ext(name, source, description, *tags):
+    return CorpusProgram(
+        name, BUGGY, source, description, ("extended", *tags), ("scv",)
     )
 
 
@@ -694,6 +714,101 @@ CORPUS: tuple[CorpusProgram, ...] = (
         "  (provide [run (-> integer? integer?)]))",
         "|prep(n)| + 1 keeps m3's denominator positive",
         "modules",
+    ),
+    # ------------------------------------------------------------------
+    # Extended string/vector primitive family (scv only — the typed
+    # core's SPCF slice has no string or vector sorts).  These programs
+    # opt the machine into the family (``SMachine(extended_prims=True)``
+    # via ``uses_extended_prims``): the base frame binds the extra
+    # globals and ``TAG_VECTOR`` joins the opaque tag universe.  The
+    # seeded faults are the family's partial-primitive preconditions:
+    # out-of-range indices and definite tag violations.
+    # ------------------------------------------------------------------
+    _buggy_ext(
+        "vector-ref-unchecked",
+        "(define (pick i) (vector-ref (vector 1 2 3) i))\n"
+        "(pick •)",
+        "an unknown index reaches vector-ref unguarded",
+        "vectors", "smoke",
+    ),
+    _safe_ext(
+        "vector-ref-clamped",
+        "(define (clamp i) (if (< i 0) 0 (if (< i 3) i 0)))\n"
+        "(define (pick i) (vector-ref (vector 1 2 3) (clamp i)))\n"
+        "(pick •)",
+        "clamping proves the index lies in [0, 2] on every path",
+        "vectors", "smoke",
+    ),
+    _buggy_ext(
+        "vector-set-unchecked",
+        "(define (poke i) (vector-set! (vector 0 0) i 7))\n"
+        "(poke •)",
+        "an unknown index reaches vector-set! unguarded",
+        "vectors",
+    ),
+    _safe_ext(
+        "vector-last",
+        "(define (final v) (vector-ref v (- (vector-length v) 1)))\n"
+        "(final (vector 4 5 6))",
+        "length - 1 of a nonempty vector is always in range",
+        "vectors",
+    ),
+    _buggy_ext(
+        "vector-length-off-by-one",
+        "(define (beyond v) (vector-ref v (vector-length v)))\n"
+        "(beyond (vector 4 5 6))",
+        "indexing at the length is one past the last slot",
+        "vectors",
+    ),
+    _safe_ext(
+        "vector-opaque-peek",
+        "(define (peek v) (vector-ref v 1))\n"
+        "(peek •)",
+        "an opaque vector's element is a fresh unknown, never an error",
+        "vectors",
+    ),
+    _buggy_ext(
+        "substring-window",
+        "(define (cut i) (substring \"window\" i (add1 i)))\n"
+        "(cut •)",
+        "the one-character window can start outside the string",
+        "strings", "smoke",
+    ),
+    _safe_ext(
+        "substring-window-guarded",
+        "(define (cut i)\n"
+        "  (if (< i 0) \"\" (if (< i 5) (substring \"window\" i (add1 i)) \"\")))\n"
+        "(cut •)",
+        "0 <= i < 5 keeps both window endpoints inside the string",
+        "strings", "smoke",
+    ),
+    _buggy_ext(
+        "substring-take",
+        "(define (take n) (substring \"hi\" 0 n))\n"
+        "(take •)",
+        "an unknown prefix length can exceed the string (or be negative)",
+        "strings",
+    ),
+    _safe_ext(
+        "string-measure",
+        "(define (measure s) (add1 (string-length s)))\n"
+        "(measure •)",
+        "string-length of any string is an integer; add1 total on it",
+        "strings",
+    ),
+    _buggy_ext(
+        "string-append-number",
+        "(define (label n) (string-append \"n = \" n))\n"
+        "(label (add1 •))",
+        "add1 makes the argument definitely a number, never a string",
+        "strings",
+    ),
+    _safe_ext(
+        "string-compare-branch",
+        "(define (greet s) (if (string=? s \"hi\") \"hello\" \"bye\"))\n"
+        "(greet •)",
+        "string=? on an unknown string answers an unknown boolean, safely",
+        "strings",
     ),
 )
 

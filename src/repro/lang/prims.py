@@ -1,736 +1,53 @@
-"""Primitive operations of the untyped language.
+"""Concrete primitive operations — a thin view over ``repro.prims``.
 
-Each primitive is a Python callable ``fn(args, ctx) -> value`` where
-``ctx`` provides ``apply(fn, args)`` (to call back into the interpreter,
-e.g. for contract combinators taking predicates) and ``label`` (the
-application's blame label).  Precondition violations raise
-:class:`PrimError`, which the interpreters convert into blame at the
-application site — these are exactly the "partial primitive" error
-sources of the paper (§3.1: "failures can only occur with the
-application of partial, primitive operations").
+Historically this module *was* δ's concrete implementation; it is now a
+compatibility facade over the primitive registry
+(``repro.prims.declarations``), where every primitive is declared once
+with the metadata all four engine layers consume.  What remains here is
+the interface the concrete interpreter and the symbolic engines import:
+
+* :func:`base_primitives` — surface name → concrete callable
+  ``fn(args, ctx) -> value``, in registry declaration order (which is
+  also the symbolic global frame's allocation order);
+* :class:`PrimError` / :class:`UserError` — the error types those
+  callables raise (re-exported from ``repro.prims.errors``);
+* ``_as_contract`` — value-to-contract coercion, used by the concrete
+  interpreter's contract attachment.
+
+Primitives are partial — ``car`` of a non-pair, ``/`` by zero, ``<`` on
+a complex number all raise :class:`PrimError` — and these precondition
+violations are exactly the blame sources the paper's symbolic execution
+hunts for (§3.1: "failures can only occur with the application of
+partial, primitive operations").  To add or change a primitive, edit
+the registry declarations, not this module.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import Callable
 
-from .sexp import Symbol
-from .values import (
-    AndContract,
-    Box,
-    ConsContract,
-    Contract,
-    DepFuncContract,
-    FlatContract,
-    FuncContract,
-    ListContract,
-    ListofContract,
-    NIL,
-    Nil,
-    NotContract,
-    OneOfContract,
-    OrContract,
-    Pair,
-    RecContract,
-    StructContract,
-    StructType,
-    VOID,
-    from_pylist,
-    is_exact,
-    is_integer,
-    is_number,
-    is_real,
-    is_truthy,
-    racket_equal,
-    to_pylist,
-)
+from ..prims import PrimError, REGISTRY, UserError
 
-
-class PrimError(Exception):
-    """A primitive's precondition was violated."""
-
-    def __init__(self, op: str, message: str) -> None:
-        super().__init__(f"{op}: {message}")
-        self.op = op
-        self.message = message
-
-
-class UserError(Exception):
-    """The program called ``(error ...)`` deliberately."""
-
-    def __init__(self, message: str) -> None:
-        super().__init__(message)
-        self.message = message
-
-
-def _want_numbers(op: str, args: list) -> None:
-    for a in args:
-        if not is_number(a):
-            raise PrimError(op, f"expected number, got {a!r}")
-
-
-def _want_reals(op: str, args: list) -> None:
-    for a in args:
-        if not is_real(a):
-            raise PrimError(op, f"expected real, got {a!r}")
-
-
-def _want_integers(op: str, args: list) -> None:
-    for a in args:
-        if not (is_integer(a) and is_exact(a)):
-            raise PrimError(op, f"expected exact integer, got {a!r}")
-
-
-def _norm(v):
-    """Normalise exact rationals with denominator 1 to ints."""
-    if isinstance(v, Fraction) and v.denominator == 1:
-        return int(v)
-    return v
-
-
-def _arity(op: str, args: list, n: int) -> None:
-    if len(args) != n:
-        raise PrimError(op, f"expected {n} arguments, got {len(args)}")
-
-
-# ---------------------------------------------------------------------------
-# Numbers
-# ---------------------------------------------------------------------------
-
-
-def _prim_add(args, ctx):
-    _want_numbers("+", args)
-    out = 0
-    for a in args:
-        out = out + a
-    return _norm(out)
-
-
-def _prim_sub(args, ctx):
-    _want_numbers("-", args)
-    if not args:
-        raise PrimError("-", "needs at least 1 argument")
-    if len(args) == 1:
-        return _norm(-args[0])
-    out = args[0]
-    for a in args[1:]:
-        out = out - a
-    return _norm(out)
-
-
-def _prim_mul(args, ctx):
-    _want_numbers("*", args)
-    out = 1
-    for a in args:
-        out = out * a
-    return _norm(out)
-
-
-def _prim_div(args, ctx):
-    _want_numbers("/", args)
-    if not args:
-        raise PrimError("/", "needs at least 1 argument")
-    vals = args if len(args) > 1 else [1] + list(args)
-    out = vals[0]
-    for a in vals[1:]:
-        if a == 0:
-            raise PrimError("/", "division by zero")
-        if is_exact(out) and is_exact(a):
-            out = Fraction(out) / Fraction(a)
-        else:
-            out = out / a
-    return _norm(out)
-
-
-def _prim_quotient(args, ctx):
-    _arity("quotient", args, 2)
-    _want_integers("quotient", args)
-    if args[1] == 0:
-        raise PrimError("quotient", "division by zero")
-    a, b = int(args[0]), int(args[1])
-    q = abs(a) // abs(b)
-    return q if (a >= 0) == (b >= 0) else -q  # truncating, like Racket
-
-
-def _prim_remainder(args, ctx):
-    _arity("remainder", args, 2)
-    _want_integers("remainder", args)
-    if args[1] == 0:
-        raise PrimError("remainder", "division by zero")
-    a, b = int(args[0]), int(args[1])
-    return a - b * (abs(a) // abs(b)) * (1 if (a >= 0) == (b >= 0) else -1)
-
-
-def _prim_modulo(args, ctx):
-    _arity("modulo", args, 2)
-    _want_integers("modulo", args)
-    if args[1] == 0:
-        raise PrimError("modulo", "division by zero")
-    return int(args[0]) % int(args[1])
-
-
-def _prim_add1(args, ctx):
-    _arity("add1", args, 1)
-    _want_numbers("add1", args)
-    return _norm(args[0] + 1)
-
-
-def _prim_sub1(args, ctx):
-    _arity("sub1", args, 1)
-    _want_numbers("sub1", args)
-    return _norm(args[0] - 1)
-
-
-def _prim_abs(args, ctx):
-    _arity("abs", args, 1)
-    _want_reals("abs", args)
-    return _norm(abs(args[0]))
-
-
-def _prim_min(args, ctx):
-    _want_reals("min", args)
-    if not args:
-        raise PrimError("min", "needs at least 1 argument")
-    return _norm(min(args))
-
-
-def _prim_max(args, ctx):
-    _want_reals("max", args)
-    if not args:
-        raise PrimError("max", "needs at least 1 argument")
-    return _norm(max(args))
-
-
-def _compare(op: str, py) -> Callable:
-    def fn(args, ctx):
-        # Comparisons are partial: they require *real* arguments.  This
-        # is the precondition the paper's argmin counterexample violates
-        # with 0+1i (§5.2).
-        if len(args) < 2:
-            raise PrimError(op, "needs at least 2 arguments")
-        _want_reals(op, args)
-        return all(py(args[i], args[i + 1]) for i in range(len(args) - 1))
-
-    return fn
-
-
-def _prim_num_eq(args, ctx):
-    if len(args) < 2:
-        raise PrimError("=", "needs at least 2 arguments")
-    _want_numbers("=", args)
-    return all(args[i] == args[i + 1] for i in range(len(args) - 1))
-
-
-def _pred(name: str, test) -> Callable:
-    def fn(args, ctx):
-        _arity(name, args, 1)
-        return bool(test(args[0]))
-
-    return fn
-
-
-def _prim_exact_to_inexact(args, ctx):
-    _arity("exact->inexact", args, 1)
-    _want_numbers("exact->inexact", args)
-    v = args[0]
-    if isinstance(v, complex):
-        return v
-    return float(v)
-
-
-def _prim_expt(args, ctx):
-    _arity("expt", args, 2)
-    _want_numbers("expt", args)
-    base, power = args
-    if is_exact(base) and is_integer(power) and is_exact(power):
-        p = int(power)
-        if p >= 0:
-            return _norm(Fraction(base) ** p)
-        if base == 0:
-            raise PrimError("expt", "0 to a negative power")
-        return _norm(Fraction(base) ** p)
-    return base**power
-
-
-def _prim_sqrt(args, ctx):
-    _arity("sqrt", args, 1)
-    _want_numbers("sqrt", args)
-    v = args[0]
-    if is_real(v) and v >= 0:
-        if is_exact(v):
-            r = int(v) if is_integer(v) else None
-            if r is not None:
-                s = int(r**0.5)
-                for cand in (s - 1, s, s + 1):
-                    if cand >= 0 and cand * cand == r:
-                        return cand
-        return float(v) ** 0.5
-    # Negative or complex input: complex result (the numeric tower!).
-    return complex(v) ** 0.5
-
-
-# ---------------------------------------------------------------------------
-# Pairs and lists
-# ---------------------------------------------------------------------------
-
-
-def _prim_cons(args, ctx):
-    _arity("cons", args, 2)
-    return Pair(args[0], args[1])
-
-
-def _prim_car(args, ctx):
-    _arity("car", args, 1)
-    if not isinstance(args[0], Pair):
-        raise PrimError("car", f"expected pair, got {args[0]!r}")
-    return args[0].car
-
-
-def _prim_cdr(args, ctx):
-    _arity("cdr", args, 1)
-    if not isinstance(args[0], Pair):
-        raise PrimError("cdr", f"expected pair, got {args[0]!r}")
-    return args[0].cdr
-
-
-def _prim_list(args, ctx):
-    return from_pylist(list(args))
-
-
-def _prim_length(args, ctx):
-    _arity("length", args, 1)
-    items = to_pylist(args[0])
-    if items is None:
-        raise PrimError("length", f"expected proper list, got {args[0]!r}")
-    return len(items)
-
-
-def _prim_append(args, ctx):
-    out = NIL
-    lists = []
-    for a in args:
-        items = to_pylist(a)
-        if items is None:
-            raise PrimError("append", f"expected proper list, got {a!r}")
-        lists.append(items)
-    flat = [x for lst in lists for x in lst]
-    return from_pylist(flat)
-
-
-def _prim_reverse(args, ctx):
-    _arity("reverse", args, 1)
-    items = to_pylist(args[0])
-    if items is None:
-        raise PrimError("reverse", f"expected proper list, got {args[0]!r}")
-    return from_pylist(list(reversed(items)))
-
-
-def _prim_list_p(args, ctx):
-    _arity("list?", args, 1)
-    return to_pylist(args[0]) is not None
-
-
-def _prim_member(args, ctx):
-    _arity("member", args, 2)
-    v, lst = args
-    while isinstance(lst, Pair):
-        if racket_equal(v, lst.car):
-            return lst
-        lst = lst.cdr
-    return False
-
-
-# ---------------------------------------------------------------------------
-# Higher-order list primitives (call back into the interpreter)
-# ---------------------------------------------------------------------------
-
-
-def _prim_map(args, ctx):
-    if len(args) < 2:
-        raise PrimError("map", "needs a function and at least one list")
-    f = args[0]
-    lists = []
-    for a in args[1:]:
-        items = to_pylist(a)
-        if items is None:
-            raise PrimError("map", f"expected proper list, got {a!r}")
-        lists.append(items)
-    if len({len(l) for l in lists}) > 1:
-        raise PrimError("map", "lists differ in length")
-    out = [ctx.apply(f, list(row)) for row in zip(*lists)]
-    return from_pylist(out)
-
-
-def _prim_filter(args, ctx):
-    _arity("filter", args, 2)
-    f, lst = args
-    items = to_pylist(lst)
-    if items is None:
-        raise PrimError("filter", f"expected proper list, got {lst!r}")
-    return from_pylist([x for x in items if is_truthy(ctx.apply(f, [x]))])
-
-
-def _prim_foldl(args, ctx):
-    _arity("foldl", args, 3)
-    f, init, lst = args
-    items = to_pylist(lst)
-    if items is None:
-        raise PrimError("foldl", f"expected proper list, got {lst!r}")
-    acc = init
-    for x in items:
-        acc = ctx.apply(f, [x, acc])
-    return acc
-
-
-def _prim_foldr(args, ctx):
-    _arity("foldr", args, 3)
-    f, init, lst = args
-    items = to_pylist(lst)
-    if items is None:
-        raise PrimError("foldr", f"expected proper list, got {lst!r}")
-    acc = init
-    for x in reversed(items):
-        acc = ctx.apply(f, [x, acc])
-    return acc
-
-
-def _prim_andmap(args, ctx):
-    _arity("andmap", args, 2)
-    f, lst = args
-    items = to_pylist(lst)
-    if items is None:
-        raise PrimError("andmap", f"expected proper list, got {lst!r}")
-    out = True
-    for x in items:
-        out = ctx.apply(f, [x])
-        if not is_truthy(out):
-            return False
-    return out
-
-
-def _prim_ormap(args, ctx):
-    _arity("ormap", args, 2)
-    f, lst = args
-    items = to_pylist(lst)
-    if items is None:
-        raise PrimError("ormap", f"expected proper list, got {lst!r}")
-    for x in items:
-        out = ctx.apply(f, [x])
-        if is_truthy(out):
-            return out
-    return False
-
-
-# ---------------------------------------------------------------------------
-# Equality, booleans, misc
-# ---------------------------------------------------------------------------
-
-
-def _prim_not(args, ctx):
-    _arity("not", args, 1)
-    return args[0] is False
-
-
-def _prim_equal(args, ctx):
-    _arity("equal?", args, 2)
-    return racket_equal(args[0], args[1])
-
-
-def _prim_eqv(args, ctx):
-    _arity("eqv?", args, 2)
-    a, b = args
-    if is_number(a) and is_number(b):
-        return is_exact(a) == is_exact(b) and a == b
-    return a is b or a == b if isinstance(a, (Symbol, str, Nil)) else a is b
-
-
-def _prim_void(args, ctx):
-    return VOID
-
-
-def _prim_error(args, ctx):
-    msg = " ".join(str(a) for a in args) if args else "error"
-    raise UserError(msg)
-
-
-# ---------------------------------------------------------------------------
-# Strings
-# ---------------------------------------------------------------------------
-
-
-def _prim_string_length(args, ctx):
-    _arity("string-length", args, 1)
-    if not isinstance(args[0], str):
-        raise PrimError("string-length", f"expected string, got {args[0]!r}")
-    return len(args[0])
-
-
-def _prim_string_append(args, ctx):
-    for a in args:
-        if not isinstance(a, str):
-            raise PrimError("string-append", f"expected string, got {a!r}")
-    return "".join(args)
-
-
-def _prim_string_eq(args, ctx):
-    if len(args) < 2:
-        raise PrimError("string=?", "needs at least 2 arguments")
-    for a in args:
-        if not isinstance(a, str):
-            raise PrimError("string=?", f"expected string, got {a!r}")
-    return all(args[i] == args[i + 1] for i in range(len(args) - 1))
-
-
-# ---------------------------------------------------------------------------
-# Boxes
-# ---------------------------------------------------------------------------
-
-
-def _prim_box(args, ctx):
-    _arity("box", args, 1)
-    return Box(args[0])
-
-
-def _prim_unbox(args, ctx):
-    _arity("unbox", args, 1)
-    if not isinstance(args[0], Box):
-        raise PrimError("unbox", f"expected box, got {args[0]!r}")
-    return args[0].content
-
-
-def _prim_set_box(args, ctx):
-    _arity("set-box!", args, 2)
-    if not isinstance(args[0], Box):
-        raise PrimError("set-box!", f"expected box, got {args[0]!r}")
-    args[0].content = args[1]
-    return VOID
-
-
-# ---------------------------------------------------------------------------
-# Contract constructors
-# ---------------------------------------------------------------------------
-
-
-def _as_contract(v: object) -> Contract:
-    """Coerce a value to a contract: contracts pass through, applicable
-    values become flat contracts, literals become equality contracts."""
-    if isinstance(v, Contract):
-        return v
-    if callable(getattr(v, "__call__", None)) or _looks_applicable(v):
-        return FlatContract(v, name=getattr(v, "name", "flat"))
-    # Literal datum: equality contract (Racket coerces these too).
-    return OneOfContract((v,))
-
-
-def _looks_applicable(v: object) -> bool:
-    from .values import StructType
-
-    return (
-        type(v).__name__ in ("Closure", "Prim", "Guarded", "StructCtor")
-        or isinstance(v, StructType)
-    )
-
-
-def _prim_arrow(args, ctx):
-    if not args:
-        raise PrimError("->", "needs at least a range contract")
-    parts = [_as_contract(a) for a in args]
-    return FuncContract(tuple(parts[:-1]), parts[-1])
-
-
-def _prim_make_arrow_d(args, ctx):
-    if len(args) < 1:
-        raise PrimError("->d", "needs domains and a range maker")
-    doms = tuple(_as_contract(a) for a in args[:-1])
-    return DepFuncContract(doms, args[-1])
-
-
-def _prim_and_c(args, ctx):
-    return AndContract(tuple(_as_contract(a) for a in args))
-
-
-def _prim_or_c(args, ctx):
-    return OrContract(tuple(_as_contract(a) for a in args))
-
-
-def _prim_not_c(args, ctx):
-    _arity("not/c", args, 1)
-    return NotContract(_as_contract(args[0]))
-
-
-def _prim_cons_c(args, ctx):
-    _arity("cons/c", args, 2)
-    return ConsContract(_as_contract(args[0]), _as_contract(args[1]))
-
-
-def _prim_listof(args, ctx):
-    _arity("listof", args, 1)
-    return ListofContract(_as_contract(args[0]))
-
-
-def _prim_list_c(args, ctx):
-    return ListContract(tuple(_as_contract(a) for a in args))
-
-
-def _prim_one_of_c(args, ctx):
-    return OneOfContract(tuple(args))
-
-
-def _prim_comparison_c(name: str, op: str) -> Callable:
-    def fn(args, ctx):
-        _arity(name, args, 1)
-        bound = args[0]
-        _want_reals(name, [bound])
-
-        def check(vals, inner_ctx):
-            v = vals[0]
-            if not is_real(v):
-                return False
-            if op == "=":
-                return v == bound
-            if op == "<":
-                return v < bound
-            if op == ">":
-                return v > bound
-            if op == "<=":
-                return v <= bound
-            return v >= bound
-
-        from .runtime import Prim
-
-        return FlatContract(Prim(f"{name}:{bound}", check), name=f"({name} {bound})")
-
-    return fn
-
-
-def _prim_make_rec_contract(args, ctx):
-    _arity("make-rec-contract", args, 1)
-    return RecContract(args[0])
-
-
-def _prim_struct_c(args, ctx):
-    if not args:
-        raise PrimError("struct/c", "needs a struct constructor")
-    ctor = args[0]
-    stype = getattr(ctor, "struct_type", None)
-    if stype is None:
-        raise PrimError("struct/c", f"expected struct constructor, got {ctor!r}")
-    fields = tuple(_as_contract(a) for a in args[1:])
-    if len(fields) != len(stype.fields):
-        raise PrimError(
-            "struct/c", f"{stype.name} has {len(stype.fields)} fields"
-        )
-    return StructContract(stype, fields)
-
-
-def _prim_flat_contract_p(args, ctx):
-    _arity("flat-contract?", args, 1)
-    return isinstance(args[0], (FlatContract, OneOfContract))
-
-
-# ---------------------------------------------------------------------------
-# The table
-# ---------------------------------------------------------------------------
+__all__ = ["PrimError", "UserError", "base_primitives", "_as_contract",
+           "_looks_applicable"]
 
 
 def base_primitives() -> dict[str, Callable]:
-    """Name → implementation for every primitive."""
-    from .values import is_exact, is_integer, is_number, is_real
+    """All primitives as ``name -> fn(args, ctx)``, in registry
+    declaration order.  ``ctx`` provides ``apply(fn, args)`` for
+    higher-order primitives and ``label`` for blame."""
+    return {name: spec.concrete for name, spec in REGISTRY.items()}
 
-    return {
-        "+": _prim_add,
-        "-": _prim_sub,
-        "*": _prim_mul,
-        "/": _prim_div,
-        "quotient": _prim_quotient,
-        "remainder": _prim_remainder,
-        "modulo": _prim_modulo,
-        "add1": _prim_add1,
-        "sub1": _prim_sub1,
-        "abs": _prim_abs,
-        "min": _prim_min,
-        "max": _prim_max,
-        "expt": _prim_expt,
-        "sqrt": _prim_sqrt,
-        "exact->inexact": _prim_exact_to_inexact,
-        "=": _prim_num_eq,
-        "<": _compare("<", lambda a, b: a < b),
-        ">": _compare(">", lambda a, b: a > b),
-        "<=": _compare("<=", lambda a, b: a <= b),
-        ">=": _compare(">=", lambda a, b: a >= b),
-        "zero?": _pred("zero?", lambda v: is_number(v) and v == 0),
-        "positive?": _pred("positive?", lambda v: is_real(v) and v > 0),
-        "negative?": _pred("negative?", lambda v: is_real(v) and v < 0),
-        "even?": _pred("even?", lambda v: is_integer(v) and int(v) % 2 == 0),
-        "odd?": _pred("odd?", lambda v: is_integer(v) and int(v) % 2 == 1),
-        "number?": _pred("number?", is_number),
-        "real?": _pred("real?", is_real),
-        "integer?": _pred("integer?", is_integer),
-        "exact-integer?": _pred(
-            "exact-integer?", lambda v: is_integer(v) and is_exact(v)
-        ),
-        "exact-nonnegative-integer?": _pred(
-            "exact-nonnegative-integer?",
-            lambda v: is_integer(v) and is_exact(v) and v >= 0,
-        ),
-        "rational?": _pred("rational?", is_real),
-        "exact?": _pred("exact?", is_exact),
-        "boolean?": _pred("boolean?", lambda v: isinstance(v, bool)),
-        "symbol?": _pred("symbol?", lambda v: isinstance(v, Symbol)),
-        "string?": _pred("string?", lambda v: isinstance(v, str)),
-        "pair?": _pred("pair?", lambda v: isinstance(v, Pair)),
-        "null?": _pred("null?", lambda v: v is NIL),
-        "empty?": _pred("empty?", lambda v: v is NIL),
-        "box?": _pred("box?", lambda v: isinstance(v, Box)),
-        "not": _prim_not,
-        "equal?": _prim_equal,
-        "eqv?": _prim_eqv,
-        "eq?": _prim_eqv,
-        "void": _prim_void,
-        "error": _prim_error,
-        "cons": _prim_cons,
-        "car": _prim_car,
-        "cdr": _prim_cdr,
-        "first": _prim_car,
-        "rest": _prim_cdr,
-        "list": _prim_list,
-        "length": _prim_length,
-        "append": _prim_append,
-        "reverse": _prim_reverse,
-        "list?": _prim_list_p,
-        "member": _prim_member,
-        "map": _prim_map,
-        "filter": _prim_filter,
-        "foldl": _prim_foldl,
-        "foldr": _prim_foldr,
-        "andmap": _prim_andmap,
-        "ormap": _prim_ormap,
-        "string-length": _prim_string_length,
-        "string-append": _prim_string_append,
-        "string=?": _prim_string_eq,
-        "box": _prim_box,
-        "unbox": _prim_unbox,
-        "set-box!": _prim_set_box,
-        "->": _prim_arrow,
-        "make->d": _prim_make_arrow_d,
-        "and/c": _prim_and_c,
-        "or/c": _prim_or_c,
-        "not/c": _prim_not_c,
-        "cons/c": _prim_cons_c,
-        "listof": _prim_listof,
-        "list/c": _prim_list_c,
-        "one-of/c": _prim_one_of_c,
-        "=/c": _prim_comparison_c("=/c", "="),
-        "</c": _prim_comparison_c("</c", "<"),
-        ">/c": _prim_comparison_c(">/c", ">"),
-        "<=/c": _prim_comparison_c("<=/c", "<="),
-        ">=/c": _prim_comparison_c(">=/c", ">="),
-        "make-rec-contract": _prim_make_rec_contract,
-        "struct/c": _prim_struct_c,
-        "flat-contract?": _prim_flat_contract_p,
-        "procedure?": _pred(
-            "procedure?",
-            lambda v: type(v).__name__ in ("Closure", "Prim", "Guarded", "StructCtor"),
-        ),
-    }
+
+def __getattr__(name: str):
+    # ``_as_contract``/``_looks_applicable`` live with the declarations;
+    # resolving them lazily keeps ``import repro.prims`` working as the
+    # first repro import (eager re-export here would re-enter the still
+    # initialising declarations module through ``lang.__init__``).
+    if name in ("_as_contract", "_looks_applicable"):
+        from ..prims import declarations
+
+        value = getattr(declarations, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

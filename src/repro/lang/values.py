@@ -90,8 +90,9 @@ class StructVal:
 
 
 class Box:
-    """A mutable cell — the one mutable value (used by the concrete
-    interpreter; the symbolic engine models boxes through its heap)."""
+    """A mutable cell — one of the two mutable values (used by the
+    concrete interpreter; the symbolic engine models boxes through its
+    heap)."""
 
     __slots__ = ("content",)
 
@@ -100,6 +101,20 @@ class Box:
 
     def __repr__(self) -> str:
         return f"(box {self.content!r})"
+
+
+class Vector:
+    """A fixed-length mutable sequence (the symbolic engine models
+    vectors through its heap, like boxes)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: list) -> None:
+        self.items = items
+
+    def __repr__(self) -> str:
+        inner = " ".join(map(repr, self.items))
+        return f"(vector{' ' if inner else ''}{inner})"
 
 
 # ---------------------------------------------------------------------------
@@ -295,6 +310,10 @@ def racket_equal(a: object, b: object) -> bool:
     if isinstance(a, StructVal) and isinstance(b, StructVal):
         return a.type == b.type and all(
             racket_equal(x, y) for x, y in zip(a.values, b.values)
+        )
+    if isinstance(a, Vector) and isinstance(b, Vector):
+        return len(a.items) == len(b.items) and all(
+            racket_equal(x, y) for x, y in zip(a.items, b.items)
         )
     return a == b
 

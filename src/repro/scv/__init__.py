@@ -7,40 +7,55 @@ whole programs (modules, contract boundaries, the demonic client) and
 searches them, and ``scv.counterexample`` turns blame states into
 concrete, surface-validated inputs.  The batch driver exposes all of
 this as the ``scv`` backend (``python -m repro --backend scv``).
+
+Re-exports resolve lazily (PEP 562): the primitive registry's rules
+(``repro.prims.rules``) import ``scv.heap`` at module load, and an
+eager package ``__init__`` would drag ``scv.counterexample`` —
+and through it the still-initialising ``lang.prims`` — into that
+import, closing a cycle.  Lazy attribute access keeps
+``from repro.scv import SMachine`` working without eagerly importing
+every sibling module.
 """
 
-from .counterexample import UCounterexample, check_u, construct_u, opaque_labels
-from .engine import (
-    USearchStats,
-    assemble,
-    collect_struct_types,
-    explore_u,
-    find_known_blames,
-    inject_program,
-    uses_contracts,
-)
-from .heap import UHeap
-from .machine import Blame, SMachine, SState, is_known_label, syn_label
-from .proof import UProofSystem, translate_uheap
+from importlib import import_module
 
-__all__ = [
-    "Blame",
-    "SMachine",
-    "SState",
-    "UCounterexample",
-    "UHeap",
-    "UProofSystem",
-    "USearchStats",
-    "assemble",
-    "check_u",
-    "collect_struct_types",
-    "construct_u",
-    "explore_u",
-    "find_known_blames",
-    "inject_program",
-    "is_known_label",
-    "opaque_labels",
-    "syn_label",
-    "translate_uheap",
-    "uses_contracts",
-]
+_EXPORTS = {
+    "UCounterexample": "counterexample",
+    "check_u": "counterexample",
+    "construct_u": "counterexample",
+    "opaque_labels": "counterexample",
+    "USearchStats": "engine",
+    "assemble": "engine",
+    "collect_struct_types": "engine",
+    "explore_u": "engine",
+    "find_known_blames": "engine",
+    "inject_program": "engine",
+    "uses_contracts": "engine",
+    "uses_extended_prims": "engine",
+    "UHeap": "heap",
+    "Blame": "machine",
+    "SMachine": "machine",
+    "SState": "machine",
+    "is_known_label": "machine",
+    "syn_label": "machine",
+    "UProofSystem": "proof",
+    "translate_uheap": "proof",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        mod = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(f".{mod}", __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

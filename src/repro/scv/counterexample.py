@@ -70,6 +70,7 @@ from .heap import (
     TAG_RATREAL,
     TAG_STRING,
     TAG_SYMBOL,
+    TAG_VECTOR,
     UBoxS,
     UCase,
     UClos,
@@ -81,6 +82,7 @@ from .heap import (
     UPair,
     UPrim,
     UStruct,
+    UVectorS,
 )
 from .machine import Blame, SState, ULocE
 from .proof import translate_uheap
@@ -231,6 +233,8 @@ class UReconstructor:
             return _capp(s.type.name, *(self.loc_value(f) for f in s.fields))
         if isinstance(s, UBoxS):
             return _capp("box", self.loc_value(s.content))
+        if isinstance(s, UVectorS):
+            return _capp("vector", *(self.loc_value(f) for f in s.fields))
         if isinstance(s, UOpq):
             return self._build_opq(l, s)
         if isinstance(s, UCase):
@@ -268,6 +272,8 @@ class UReconstructor:
             return ULam((".z",), Quote(0))
         if TAG_PAIR in s.possible:
             return _capp("cons", Quote(0), Quote([]))
+        if TAG_VECTOR in s.possible:
+            return _capp("vector", Quote(0))
         raise UReconstructionError(f"no representative for {s!r}")
 
     def _build_case(self, s: UCase) -> UExpr:

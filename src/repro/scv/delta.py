@@ -5,8 +5,9 @@ relates heaps and *tagged* values.  Every rule follows the same recipe:
 
 1. **Concrete fast path** — when every argument reifies to a concrete
    Racket value, the rule *delegates to the very primitives the concrete
-   interpreter runs* (``lang.prims``): one implementation, two engines.
-   A ``PrimError`` raised there becomes blame at the application label.
+   interpreter runs* (the registry's concrete callables): one
+   implementation, two engines.  A ``PrimError`` raised there becomes
+   blame at the application label.
 2. **Tag split** — opaque arguments branch on their possible tags: one
    blame branch per way the precondition can fail (the untyped machine's
    new error source), one ok branch with the argument narrowed.  Under
@@ -24,6 +25,16 @@ makes for compound contracts (§4.3) — "the semantics of contract
 checking itself breaks down complex and higher-order contracts into
 simple predicates".
 
+The dispatch table is not written by hand.  It is generated from the
+primitive registry (``repro.prims``): a declaration's custom ``rule``
+or per-primitive ``synth`` (see ``repro.prims.rules``) is used
+directly, its ``pred_tags`` become the generic run-time type test, its
+``refine`` template selects one of the interpreters below (arith /
+offset / divlike / slash / compare / swap / sign) parameterised by the
+declaration's tag signature, and a bare ``sig.result`` falls to the
+generic tag-split handler.  This module owns only the *generic*
+machinery; everything per-primitive lives in the registry.
+
 Known divergence (shared with ``core.delta`` and documented in the
 corpus discipline): symbolic ``quotient``/``modulo`` constraints use the
 solver's Euclidean ``div``/``mod``, which differs from Racket's
@@ -34,48 +45,35 @@ filters any spurious model this admits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Callable, Optional
 
 from ..core.heap import HConst, HLoc, HOp, HTerm, PEq, PLe, PLt, PNot, Pred, PZero
 from ..core.proof import Verdict
 from ..core.syntax import Loc
 from ..lang.ast import Quote, UApp, UExpr, UIf, ULam, ULetrec, UVar
-from ..lang.prims import PrimError, UserError, base_primitives
-from ..lang.sexp import Symbol
-from ..lang.values import NIL, Nil, Pair, StructVal, VOID, Void, racket_equal
+from ..lang.values import Pair, StructVal
+from ..prims import REGISTRY, PrimError, UserError
 from .heap import (
     NUMBER_TAGS,
-    PEqDatum,
     REAL_TAGS,
     TAG_BOOLEAN,
-    TAG_BOX,
     TAG_INTEGER,
-    TAG_NONREAL,
-    TAG_NULL,
-    TAG_PAIR,
-    TAG_PROCEDURE,
-    TAG_RATREAL,
-    TAG_STRING,
-    TAG_SYMBOL,
-    TAG_VOID,
-    UBoxS,
-    UCase,
-    UClos,
     UConc,
-    UCtc,
-    UGuard,
     UHeap,
     UOpq,
     UPair,
     UPrim,
     UStoreable,
     UStruct,
-    UStructCtor,
+    datum_tag,
+    storeable_tag,
     struct_tag,
 )
 
-_PRIMS = base_primitives()
+__all__ = [
+    "Outcome", "OValue", "OLoc", "OBlame", "OEval", "Rule", "delta_u",
+    "datum_tag", "storeable_tag", "reify_concrete", "alloc_value",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -126,56 +124,12 @@ class OEval(Outcome):
     effort: int = 0
 
 
-# ---------------------------------------------------------------------------
-# Tags of concrete things
-# ---------------------------------------------------------------------------
-
-
-def datum_tag(v: object) -> Optional[str]:
-    """Primary tag of a concrete immediate."""
-    if isinstance(v, bool):
-        return TAG_BOOLEAN
-    if isinstance(v, int):
-        return TAG_INTEGER
-    if isinstance(v, Fraction):
-        return TAG_INTEGER if v.denominator == 1 else TAG_RATREAL
-    if isinstance(v, float):
-        return TAG_RATREAL
-    if isinstance(v, complex):
-        return TAG_NONREAL
-    if isinstance(v, str):
-        return TAG_STRING
-    if isinstance(v, Symbol):
-        return TAG_SYMBOL
-    if isinstance(v, Nil):
-        return TAG_NULL
-    if isinstance(v, Void):
-        return TAG_VOID
-    return None
-
-
-def storeable_tag(s: UStoreable) -> Optional[str]:
-    """Primary tag of a non-opaque storeable (None: no tag, e.g. a
-    contract value — every type predicate answers ``#f`` on it)."""
-    if isinstance(s, UConc):
-        return datum_tag(s.value)
-    if isinstance(s, UPair):
-        return TAG_PAIR
-    if isinstance(s, UStruct):
-        return struct_tag(s.type.name)
-    if isinstance(s, UBoxS):
-        return TAG_BOX
-    if isinstance(s, (UClos, UPrim, UGuard, UStructCtor, UCase)):
-        return TAG_PROCEDURE
-    return None
-
-
 def _is_exact_int(v: object) -> bool:
     return isinstance(v, int) and not isinstance(v, bool)
 
 
 # ---------------------------------------------------------------------------
-# Reification of concrete arguments (for delegation to lang.prims)
+# Reification of concrete arguments (for delegation to the registry)
 # ---------------------------------------------------------------------------
 
 _UNREIFIABLE = object()
@@ -247,7 +201,12 @@ class _NoApplyCtx:
 
 class Rule:
     """One δ-rule application: primitive + argument locations + label,
-    with the branch-building helpers every handler shares."""
+    with the branch-building helpers every handler shares.  This is the
+    interface the registry's per-primitive rules program against
+    (``repro.prims.rules``)."""
+
+    #: Sentinel for values that cannot be reified (see :meth:`reify`).
+    UNREIFIABLE = _UNREIFIABLE
 
     def __init__(self, machine, heap: UHeap, name: str,
                  args: tuple[Loc, ...], label: str) -> None:
@@ -266,6 +225,9 @@ class Rule:
         _, s = self.deref(l, heap)
         return s.value if isinstance(s, UConc) else _UNREIFIABLE
 
+    def reify(self, l: Loc) -> object:
+        return reify_concrete(self.heap, l)
+
     @property
     def typed(self) -> bool:
         return self.m.assume_well_typed
@@ -279,6 +241,10 @@ class Rule:
     def value(self, s: UStoreable, heap: Optional[UHeap] = None,
               effort: int = 0) -> OValue:
         return OValue(heap or self.heap, s, effort)
+
+    def at(self, l: Loc, heap: Optional[UHeap] = None,
+           effort: int = 0) -> OLoc:
+        return OLoc(heap or self.heap, l, effort)
 
     def boolean(self, b: bool, heap: Optional[UHeap] = None,
                 effort: int = 0) -> OValue:
@@ -317,6 +283,14 @@ class Rule:
         return UBlameE("Λ", f"{self.name}: expected proper list ({what})",
                        self.label)
 
+    def spine(self, params: tuple[str, ...], body: UExpr,
+              *call_args: UExpr) -> list[Outcome]:
+        """``(letrec ([.go (λ params body)]) (.go call_args...))`` — the
+        inductive list-walk skeleton every spine synthesis shares."""
+        go = ULam(params, body, name=f"{self.name}-loop")
+        return [self.run(ULetrec(((".go", go),),
+                                 self.app(UVar(".go"), *call_args)))]
+
     # -- concrete delegation --------------------------------------------
 
     def all_concrete(self) -> Optional[list]:
@@ -327,7 +301,7 @@ class Rule:
 
     def delegate(self, vals: list) -> list[Outcome]:
         try:
-            out = _PRIMS[self.name](vals, _NoApplyCtx(self.label))
+            out = REGISTRY[self.name].concrete(vals, _NoApplyCtx(self.label))
         except PrimError as pe:
             return [OBlame(self.heap, "Λ", self.label,
                            f"{pe.op}: {pe.message}")]
@@ -392,7 +366,7 @@ class Rule:
 
 
 # ---------------------------------------------------------------------------
-# Handlers: arithmetic
+# Refinement-template interpreters: arithmetic
 # ---------------------------------------------------------------------------
 
 
@@ -412,7 +386,7 @@ def _num_term(heap: UHeap, l: Loc) -> HTerm:
 
 
 def _h_arith(op: str) -> Callable[[Rule], list[Outcome]]:
-    """n-ary +, -, * (and unary add1/sub1 via the dispatch wrappers)."""
+    """n-ary +, -, * — fold into one heap term."""
 
     def handler(r: Rule) -> list[Outcome]:
         vals = r.all_concrete()
@@ -445,29 +419,27 @@ def _h_arith(op: str) -> Callable[[Rule], list[Outcome]]:
     return handler
 
 
-def _h_add1(r: Rule) -> list[Outcome]:
-    return _offset(r, "+")
+def _h_offset(op: str) -> Callable[[Rule], list[Outcome]]:
+    """add1 / sub1 — the ``±1`` special case of ``_h_arith``."""
 
+    def handler(r: Rule) -> list[Outcome]:
+        vals = r.all_concrete()
+        if vals is not None:
+            return r.delegate(vals)
+        oks, out = r.narrow_args(r.args, NUMBER_TAGS, "expected number")
+        for heap, effort in oks:
+            heap, il = r.int_narrow(heap, r.args[0])
+            if il is None:
+                out.append(OValue(heap, UOpq(NUMBER_TAGS), effort))
+                continue
+            term = HOp(op, (_num_term(heap, r.args[0]), HConst(1)))
+            out.append(
+                OValue(heap, UOpq(frozenset({TAG_INTEGER}), (PEq(term),)),
+                       effort)
+            )
+        return out
 
-def _h_sub1(r: Rule) -> list[Outcome]:
-    return _offset(r, "-")
-
-
-def _offset(r: Rule, op: str) -> list[Outcome]:
-    vals = r.all_concrete()
-    if vals is not None:
-        return r.delegate(vals)
-    oks, out = r.narrow_args(r.args, NUMBER_TAGS, "expected number")
-    for heap, effort in oks:
-        heap, il = r.int_narrow(heap, r.args[0])
-        if il is None:
-            out.append(OValue(heap, UOpq(NUMBER_TAGS), effort))
-            continue
-        term = HOp(op, (_num_term(heap, r.args[0]), HConst(1)))
-        out.append(
-            OValue(heap, UOpq(frozenset({TAG_INTEGER}), (PEq(term),)), effort)
-        )
-    return out
+    return handler
 
 
 def _h_divlike(op: str, constrain: bool) -> Callable[[Rule], list[Outcome]]:
@@ -548,7 +520,7 @@ def _h_slash(r: Rule) -> list[Outcome]:
 
 
 # ---------------------------------------------------------------------------
-# Handlers: comparisons and numeric predicates
+# Refinement-template interpreters: comparisons and sign predicates
 # ---------------------------------------------------------------------------
 
 
@@ -640,12 +612,16 @@ _COMPARE_PY = {
 }
 
 
-def _h_swapped(inner: Callable[[Rule], list[Outcome]]):
+def _h_swapped(swap_name: str) -> Callable[[Rule], list[Outcome]]:
+    """>, >= — binary calls are normalised by swapping operands into the
+    ``swap_name`` comparison; n-ary uses chained synthesis."""
+    inner = _h_compare(swap_name)
+
     def handler(r: Rule) -> list[Outcome]:
         if len(r.args) == 2:
-            r = Rule(r.m, r.heap, _SWAP_NAME[r.name], tuple(reversed(r.args)),
-                     r.label)
-            return inner(r)
+            rr = Rule(r.m, r.heap, swap_name, tuple(reversed(r.args)),
+                      r.label)
+            return inner(rr)
         vals = r.all_concrete()
         if vals is not None:
             return r.delegate(vals)
@@ -659,9 +635,6 @@ def _h_swapped(inner: Callable[[Rule], list[Outcome]]):
         return [r.run(chain)]
 
     return handler
-
-
-_SWAP_NAME = {">": "<", ">=": "<="}
 
 
 def _h_sign_pred(pred_of: Callable[[], Pred]) -> Callable[[Rule], list[Outcome]]:
@@ -706,31 +679,14 @@ def _h_sign_pred(pred_of: Callable[[], Pred]) -> Callable[[Rule], list[Outcome]]
     return handler
 
 
-def _h_parity(test_zero: bool) -> Callable[[Rule], list[Outcome]]:
-    """even? / odd? via synthesis: ``(if (integer? x) ⟨mod test⟩ #f)``."""
-
-    def handler(r: Rule) -> list[Outcome]:
-        vals = r.all_concrete()
-        if vals is not None:
-            return r.delegate(vals)
-        (l,) = r.args
-        x = r.loc_expr(l)
-        mod2 = r.app(r.prim("modulo"), x, Quote(2))
-        test = r.app(r.prim("zero?"), mod2)
-        inner = test if test_zero else r.app(r.prim("not"), test)
-        return [r.run(UIf(r.app(r.prim("integer?"), x), inner, Quote(False)))]
-
-    return handler
-
-
 # ---------------------------------------------------------------------------
-# Handlers: type predicates
+# Generic handlers driven by the tag signature
 # ---------------------------------------------------------------------------
 
 
 def _h_tag_pred(
     tags: frozenset[str],
-    materialize: Optional[Callable[[Rule, UHeap], tuple[UStoreable, UHeap]]] = None,
+    materialize=None,
 ) -> Callable[[Rule], list[Outcome]]:
     """The generic run-time type test (§4.1): concrete subjects answer
     immediately, opaque subjects branch and *narrow*; ``materialize``
@@ -761,488 +717,6 @@ def _h_tag_pred(
     return handler
 
 
-def _mat_pair(r: Rule, heap: UHeap) -> tuple[UStoreable, UHeap]:
-    car, heap = heap.alloc(r.m.fresh_opq())
-    cdr, heap = heap.alloc(r.m.fresh_opq())
-    return UPair(car, cdr), heap
-
-
-def _mat_null(r: Rule, heap: UHeap) -> tuple[UStoreable, UHeap]:
-    return UConc(NIL), heap
-
-
-def _mat_box(r: Rule, heap: UHeap) -> tuple[UStoreable, UHeap]:
-    content, heap = heap.alloc(r.m.fresh_opq())
-    return UBoxS(content), heap
-
-
-def _h_nonneg_int(r: Rule) -> list[Outcome]:
-    """exact-nonnegative-integer? — a tag test plus a sign refinement."""
-    if len(r.args) != 1:
-        return [r.blame("expected 1 argument")]
-    vals = r.all_concrete()
-    if vals is not None:
-        return r.delegate(vals)
-    (l,) = r.args
-    target, s = r.deref(l)
-    if not isinstance(s, UOpq):
-        return [r.boolean(False)]
-    out: list[Outcome] = []
-    if TAG_INTEGER not in s.possible:
-        return [r.boolean(False)]
-    if s.possible != frozenset({TAG_INTEGER}):
-        out.append(
-            r.boolean(
-                False,
-                r.heap.narrow(target, s.possible - frozenset({TAG_INTEGER})),
-                1,
-            )
-        )
-    heap = r.heap.narrow(target, frozenset({TAG_INTEGER}))
-    p = PLt(HConst(0))
-    verdict = r.m.proof.check(heap, target, p)
-    if verdict is Verdict.PROVED:
-        out.append(r.boolean(False, heap))
-    elif verdict is Verdict.REFUTED:
-        out.append(r.boolean(True, heap))
-    else:
-        out.append(r.boolean(False, heap.refine(target, p), 1))
-        out.append(r.boolean(True, heap.refine(target, PNot(p)), 1))
-    return out
-
-
-# ---------------------------------------------------------------------------
-# Handlers: booleans and equality
-# ---------------------------------------------------------------------------
-
-
-def _h_not(r: Rule) -> list[Outcome]:
-    if len(r.args) != 1:
-        return [r.blame("expected 1 argument")]
-    (l,) = r.args
-    target, s = r.deref(l)
-    if isinstance(s, UConc):
-        return [r.boolean(s.value is False)]
-    if not isinstance(s, UOpq):
-        return [r.boolean(False)]
-    if TAG_BOOLEAN not in s.possible:
-        return [r.boolean(False)]
-    if PEqDatum(False) in s.preds:
-        return [r.boolean(True)]
-    if PNot(PEqDatum(False)) in s.preds:
-        return [r.boolean(False)]
-    return [
-        r.boolean(True, r.heap.set(target, UConc(False)), 1),
-        r.boolean(False, r.heap.refine(target, PNot(PEqDatum(False))), 1),
-    ]
-
-
-def _h_equal(identity_structured: bool) -> Callable[[Rule], list[Outcome]]:
-    """equal? (structural) and eqv?/eq? (identity on structured data)."""
-
-    def handler(r: Rule) -> list[Outcome]:
-        if len(r.args) != 2:
-            return [r.blame(f"expected 2 arguments, got {len(r.args)}")]
-        a, b = r.args
-        ta, sa = r.deref(a)
-        tb, sb = r.deref(b)
-        if ta == tb:
-            return [r.boolean(True)]
-        if isinstance(sa, UConc) and isinstance(sb, UConc):
-            return [r.boolean(racket_equal(sa.value, sb.value))]
-        for structured, other_loc, other in ((sa, tb, sb), (sb, ta, sa)):
-            if isinstance(structured, (UPair, UStruct)):
-                if identity_structured:
-                    if isinstance(other, UOpq):
-                        break  # fall through to the generic branch
-                    return [r.boolean(False)]
-                return _equal_structural(r, structured, a if structured is sa else b,
-                                         b if structured is sa else a)
-        # Opaque vs concrete scalar: three-way on the recorded equality.
-        for opq_loc, opq, conc_loc, conc in ((ta, sa, tb, sb), (tb, sb, ta, sa)):
-            if isinstance(opq, UOpq) and isinstance(conc, UConc):
-                return _equal_datum(r, opq_loc, conc.value)
-        if isinstance(sa, UOpq) and isinstance(sb, UOpq):
-            return _equal_opq(r, ta, sa, tb, sb)
-        # Procedures / contracts vs anything else: identity already
-        # failed above.
-        if isinstance(sa, UOpq) or isinstance(sb, UOpq):
-            return [r.boolean(True, effort=1), r.boolean(False, effort=1)]
-        return [r.boolean(False)]
-
-    return handler
-
-
-def _equal_structural(r: Rule, s, al: Loc, bl: Loc) -> list[Outcome]:
-    bE = r.loc_expr(bl)
-    if isinstance(s, UPair):
-        test = r.app(r.prim("pair?"), bE)
-        same = UIf(
-            r.app(r.prim("equal?"), r.loc_expr(s.car),
-                  r.app(r.prim("car"), bE)),
-            r.app(r.prim("equal?"), r.loc_expr(s.cdr),
-                  r.app(r.prim("cdr"), bE)),
-            Quote(False),
-        )
-        return [r.run(UIf(test, same, Quote(False)))]
-    assert isinstance(s, UStruct)
-    pred = f"{s.type.name}?"
-    if pred not in r.m.struct_prims:
-        return [r.boolean(False)]
-    same: UExpr = Quote(True)
-    for i, f in reversed(list(enumerate(s.fields))):
-        acc = r.app(r.prim(f"{s.type.name}-{s.type.fields[i]}"), bE)
-        same = UIf(r.app(r.prim("equal?"), r.loc_expr(f), acc), same,
-                   Quote(False))
-    return [r.run(UIf(r.app(r.prim(pred), bE), same, Quote(False)))]
-
-
-def _equal_datum(r: Rule, l: Loc, d: object) -> list[Outcome]:
-    verdict = r.m.proof.check(r.heap, l, PEqDatum(d))
-    if verdict is Verdict.PROVED:
-        return [r.boolean(True)]
-    if verdict is Verdict.REFUTED:
-        return [r.boolean(False)]
-    dt = datum_tag(d)
-    if dt is None:
-        return [r.boolean(False)]
-    return [
-        r.boolean(True, r.heap.set(l, UConc(d)), 1),
-        r.boolean(False, r.heap.refine(l, PNot(PEqDatum(d))), 1),
-    ]
-
-
-def _equal_opq(r: Rule, ta: Loc, sa: UOpq, tb: Loc, sb: UOpq) -> list[Outcome]:
-    if not (sa.possible & sb.possible):
-        return [r.boolean(False)]
-    both_int = (sa.possible == frozenset({TAG_INTEGER})
-                and sb.possible == frozenset({TAG_INTEGER}))
-    if both_int:
-        p = PEq(HLoc(tb))
-        verdict = r.m.proof.check(r.heap, ta, p)
-        if verdict is Verdict.PROVED:
-            return [r.boolean(True)]
-        if verdict is Verdict.REFUTED:
-            return [r.boolean(False)]
-        return [
-            r.boolean(True, r.heap.refine(ta, p), 1),
-            r.boolean(False, r.heap.refine(ta, PNot(p)), 1),
-        ]
-    return [r.boolean(True, effort=1), r.boolean(False, effort=1)]
-
-
-# ---------------------------------------------------------------------------
-# Handlers: pairs, lists, boxes, structs
-# ---------------------------------------------------------------------------
-
-
-def _h_cons(r: Rule) -> list[Outcome]:
-    return [r.value(UPair(r.args[0], r.args[1]))]
-
-
-def _h_pair_sel(field: str) -> Callable[[Rule], list[Outcome]]:
-    def handler(r: Rule) -> list[Outcome]:
-        if len(r.args) != 1:
-            return [r.blame("expected 1 argument")]
-        (l,) = r.args
-        target, s = r.deref(l)
-        if isinstance(s, UPair):
-            return [OLoc(r.heap, s.car if field == "car" else s.cdr)]
-        if isinstance(s, UOpq) and TAG_PAIR in s.possible:
-            out: list[Outcome] = []
-            if s.possible != frozenset({TAG_PAIR}) and not r.typed:
-                bad = r.heap.narrow(target, s.possible - frozenset({TAG_PAIR}))
-                out.append(r.blame("expected pair", bad))
-            shape, heap = _mat_pair(r, r.heap)
-            heap = heap.set(target, shape)
-            assert isinstance(shape, UPair)
-            out.append(
-                OLoc(heap, shape.car if field == "car" else shape.cdr, 1)
-            )
-            return out
-        return [r.blame(f"expected pair, got {s!r}")]
-
-    return handler
-
-
-def _h_list(r: Rule) -> list[Outcome]:
-    heap = r.heap
-    tail, heap = heap.alloc(UConc(NIL))
-    for l in reversed(r.args):
-        tail, heap = heap.alloc(UPair(l, tail))
-    return [OLoc(heap, tail)]
-
-
-def _spine_loop(r: Rule, params: tuple[str, ...], body: UExpr,
-                *call_args: UExpr) -> list[Outcome]:
-    """``(letrec ([.go (λ params body)]) (.go call_args...))``."""
-    go = ULam(params, body, name=f"{r.name}-loop")
-    return [r.run(ULetrec(((".go", go),),
-                          r.app(UVar(".go"), *call_args)))]
-
-
-def _h_length(r: Rule) -> list[Outcome]:
-    vals = r.all_concrete()
-    if vals is not None:
-        return r.delegate(vals)
-    xs = UVar(".xs")
-    body = UIf(
-        r.app(r.prim("null?"), xs),
-        UVar(".n"),
-        UIf(
-            r.app(r.prim("pair?"), xs),
-            r.app(UVar(".go"), r.app(r.prim("cdr"), xs),
-                  r.app(r.prim("add1"), UVar(".n"))),
-            r.improper("length"),
-        ),
-    )
-    return _spine_loop(r, (".xs", ".n"), body, r.loc_expr(r.args[0]), Quote(0))
-
-
-def _h_reverse(r: Rule) -> list[Outcome]:
-    vals = r.all_concrete()
-    if vals is not None:
-        return r.delegate(vals)
-    xs = UVar(".xs")
-    body = UIf(
-        r.app(r.prim("null?"), xs),
-        UVar(".acc"),
-        UIf(
-            r.app(r.prim("pair?"), xs),
-            r.app(UVar(".go"), r.app(r.prim("cdr"), xs),
-                  r.app(r.prim("cons"), r.app(r.prim("car"), xs),
-                        UVar(".acc"))),
-            r.improper("reverse"),
-        ),
-    )
-    return _spine_loop(r, (".xs", ".acc"), body, r.loc_expr(r.args[0]),
-                       Quote([]))
-
-
-def _h_append(r: Rule) -> list[Outcome]:
-    vals = r.all_concrete()
-    if vals is not None:
-        return r.delegate(vals)
-    if not r.args:
-        return [r.value(UConc(NIL))]
-    if len(r.args) == 1:
-        return [OLoc(r.heap, r.args[0])]
-    if len(r.args) > 2:
-        rest = r.app(r.prim("append"),
-                     *[r.loc_expr(a) for a in r.args[1:]])
-        return [r.run(r.app(r.prim("append"), r.loc_expr(r.args[0]), rest))]
-    xs = UVar(".xs")
-    body = UIf(
-        r.app(r.prim("null?"), xs),
-        r.loc_expr(r.args[1]),
-        UIf(
-            r.app(r.prim("pair?"), xs),
-            r.app(r.prim("cons"), r.app(r.prim("car"), xs),
-                  r.app(UVar(".go"), r.app(r.prim("cdr"), xs))),
-            r.improper("append"),
-        ),
-    )
-    return _spine_loop(r, (".xs",), body, r.loc_expr(r.args[0]))
-
-
-def _h_list_p(r: Rule) -> list[Outcome]:
-    vals = r.all_concrete()
-    if vals is not None:
-        return r.delegate(vals)
-    xs = UVar(".xs")
-    body = UIf(
-        r.app(r.prim("null?"), xs),
-        Quote(True),
-        UIf(r.app(r.prim("pair?"), xs),
-            r.app(UVar(".go"), r.app(r.prim("cdr"), xs)),
-            Quote(False)),
-    )
-    return _spine_loop(r, (".xs",), body, r.loc_expr(r.args[0]))
-
-
-def _h_member(r: Rule) -> list[Outcome]:
-    vals = r.all_concrete()
-    if vals is not None:
-        return r.delegate(vals)
-    xs = UVar(".xs")
-    body = UIf(
-        r.app(r.prim("pair?"), xs),
-        UIf(
-            r.app(r.prim("equal?"), r.loc_expr(r.args[0]),
-                  r.app(r.prim("car"), xs)),
-            xs,
-            r.app(UVar(".go"), r.app(r.prim("cdr"), xs)),
-        ),
-        Quote(False),
-    )
-    return _spine_loop(r, (".xs",), body, r.loc_expr(r.args[1]))
-
-
-def _h_map(r: Rule) -> list[Outcome]:
-    if len(r.args) != 2:
-        return [r.blame("multi-list map is outside the symbolic subset")]
-    f, xs_loc = r.args
-    xs = UVar(".xs")
-    body = UIf(
-        r.app(r.prim("null?"), xs),
-        Quote([]),
-        UIf(
-            r.app(r.prim("pair?"), xs),
-            r.app(r.prim("cons"),
-                  r.app(r.loc_expr(f), r.app(r.prim("car"), xs)),
-                  r.app(UVar(".go"), r.app(r.prim("cdr"), xs))),
-            r.improper("map"),
-        ),
-    )
-    return _spine_loop(r, (".xs",), body, r.loc_expr(xs_loc))
-
-
-def _h_filter(r: Rule) -> list[Outcome]:
-    f, xs_loc = r.args
-    xs = UVar(".xs")
-    keep = r.app(r.prim("cons"), r.app(r.prim("car"), xs),
-                 r.app(UVar(".go"), r.app(r.prim("cdr"), xs)))
-    body = UIf(
-        r.app(r.prim("null?"), xs),
-        Quote([]),
-        UIf(
-            r.app(r.prim("pair?"), xs),
-            UIf(r.app(r.loc_expr(f), r.app(r.prim("car"), xs)), keep,
-                r.app(UVar(".go"), r.app(r.prim("cdr"), xs))),
-            r.improper("filter"),
-        ),
-    )
-    return _spine_loop(r, (".xs",), body, r.loc_expr(xs_loc))
-
-
-def _h_foldl(r: Rule) -> list[Outcome]:
-    f, init, xs_loc = r.args
-    xs = UVar(".xs")
-    body = UIf(
-        r.app(r.prim("null?"), xs),
-        UVar(".acc"),
-        UIf(
-            r.app(r.prim("pair?"), xs),
-            r.app(UVar(".go"), r.app(r.prim("cdr"), xs),
-                  r.app(r.loc_expr(f), r.app(r.prim("car"), xs),
-                        UVar(".acc"))),
-            r.improper("foldl"),
-        ),
-    )
-    return _spine_loop(r, (".xs", ".acc"), body, r.loc_expr(xs_loc),
-                       r.loc_expr(init))
-
-
-def _h_foldr(r: Rule) -> list[Outcome]:
-    f, init, xs_loc = r.args
-    xs = UVar(".xs")
-    body = UIf(
-        r.app(r.prim("null?"), xs),
-        r.loc_expr(init),
-        UIf(
-            r.app(r.prim("pair?"), xs),
-            r.app(r.loc_expr(f), r.app(r.prim("car"), xs),
-                  r.app(UVar(".go"), r.app(r.prim("cdr"), xs))),
-            r.improper("foldr"),
-        ),
-    )
-    return _spine_loop(r, (".xs",), body, r.loc_expr(xs_loc))
-
-
-def _h_andmap(r: Rule) -> list[Outcome]:
-    f, xs_loc = r.args
-    xs = UVar(".xs")
-    body = UIf(
-        r.app(r.prim("null?"), xs),
-        Quote(True),
-        UIf(
-            r.app(r.prim("pair?"), xs),
-            UIf(r.app(r.loc_expr(f), r.app(r.prim("car"), xs)),
-                r.app(UVar(".go"), r.app(r.prim("cdr"), xs)),
-                Quote(False)),
-            r.improper("andmap"),
-        ),
-    )
-    return _spine_loop(r, (".xs",), body, r.loc_expr(xs_loc))
-
-
-def _h_ormap(r: Rule) -> list[Outcome]:
-    f, xs_loc = r.args
-    xs = UVar(".xs")
-    hit = ULam(
-        (".t",),
-        UIf(UVar(".t"), UVar(".t"),
-            r.app(UVar(".go"), r.app(r.prim("cdr"), xs))),
-    )
-    body = UIf(
-        r.app(r.prim("null?"), xs),
-        Quote(False),
-        UIf(
-            r.app(r.prim("pair?"), xs),
-            r.app(hit, r.app(r.loc_expr(f), r.app(r.prim("car"), xs))),
-            r.improper("ormap"),
-        ),
-    )
-    return _spine_loop(r, (".xs",), body, r.loc_expr(xs_loc))
-
-
-def _h_box(r: Rule) -> list[Outcome]:
-    return [r.value(UBoxS(r.args[0]))]
-
-
-def _h_unbox(r: Rule) -> list[Outcome]:
-    (l,) = r.args
-    target, s = r.deref(l)
-    if isinstance(s, UBoxS):
-        return [OLoc(r.heap, s.content)]
-    if isinstance(s, UOpq) and TAG_BOX in s.possible:
-        out: list[Outcome] = []
-        if s.possible != frozenset({TAG_BOX}) and not r.typed:
-            bad = r.heap.narrow(target, s.possible - frozenset({TAG_BOX}))
-            out.append(r.blame("expected box", bad))
-        shape, heap = _mat_box(r, r.heap)
-        heap = heap.set(target, shape)
-        assert isinstance(shape, UBoxS)
-        out.append(OLoc(heap, shape.content, 1))
-        return out
-    return [r.blame(f"expected box, got {s!r}")]
-
-
-def _h_set_box(r: Rule) -> list[Outcome]:
-    l, v = r.args
-    target, s = r.deref(l)
-    if isinstance(s, UBoxS) or (
-        isinstance(s, UOpq) and s.possible == frozenset({TAG_BOX})
-    ):
-        return [r.value(UConc(VOID), r.heap.set(target, UBoxS(v)))]
-    if isinstance(s, UOpq) and TAG_BOX in s.possible:
-        out: list[Outcome] = []
-        if not r.typed:
-            bad = r.heap.narrow(target, s.possible - frozenset({TAG_BOX}))
-            out.append(r.blame("expected box", bad))
-        out.append(r.value(UConc(VOID), r.heap.set(target, UBoxS(v)), 1))
-        return out
-    return [r.blame(f"expected box, got {s!r}")]
-
-
-# ---------------------------------------------------------------------------
-# Handlers: misc
-# ---------------------------------------------------------------------------
-
-
-def _h_void(r: Rule) -> list[Outcome]:
-    return [r.value(UConc(VOID))]
-
-
-def _h_error(r: Rule) -> list[Outcome]:
-    parts = []
-    for a in r.args:
-        v = reify_concrete(r.heap, a)
-        parts.append("..." if v is _UNREIFIABLE else str(v))
-    msg = " ".join(parts) if parts else "error"
-    return [OBlame(r.heap, "Λ", r.label, f"error: {msg}")]
-
-
 def _h_generic(
     want: frozenset[str], result: frozenset[str], desc: str
 ) -> Callable[[Rule], list[Outcome]]:
@@ -1260,142 +734,6 @@ def _h_generic(
         return out
 
     return handler
-
-
-def _h_abs(r: Rule) -> list[Outcome]:
-    vals = r.all_concrete()
-    if vals is not None:
-        return r.delegate(vals)
-    x = r.loc_expr(r.args[0])
-    return [r.run(UIf(r.app(r.prim("<"), x, Quote(0)),
-                      r.app(r.prim("-"), Quote(0), x), x))]
-
-
-def _h_minmax(op: str) -> Callable[[Rule], list[Outcome]]:
-    def handler(r: Rule) -> list[Outcome]:
-        vals = r.all_concrete()
-        if vals is not None:
-            return r.delegate(vals)
-        if not r.args:
-            return [r.blame("needs at least 1 argument")]
-        a = r.loc_expr(r.args[0])
-        if len(r.args) == 1:
-            # (< a a) is always #f but forces the realness check.
-            return [r.run(UIf(r.app(r.prim("<"), a, a), a, a))]
-        b = (r.loc_expr(r.args[1]) if len(r.args) == 2
-             else r.app(r.prim(r.name), *[r.loc_expr(x) for x in r.args[1:]]))
-        pick = ULam(
-            (".a", ".b"),
-            UIf(r.app(r.prim("<"), UVar(".a"), UVar(".b")),
-                UVar(".a") if op == "min" else UVar(".b"),
-                UVar(".b") if op == "min" else UVar(".a")),
-        )
-        return [r.run(r.app(pick, a, b))]
-
-    return handler
-
-
-# ---------------------------------------------------------------------------
-# Handlers: contract constructors (values of kind UCtc, §4.3)
-# ---------------------------------------------------------------------------
-
-
-def _as_ctc_loc(r: Rule, heap: UHeap, l: Loc) -> tuple[Loc, UHeap]:
-    """Coerce a value location to a contract location, mirroring
-    ``lang.prims._as_contract``: contracts pass through, applicable
-    values become flat contracts, literals become equality contracts."""
-    target, s = heap.deref(l)
-    if isinstance(s, UCtc):
-        return target, heap
-    if isinstance(s, (UClos, UPrim, UGuard, UStructCtor, UCase, UOpq)):
-        return heap.alloc(UCtc("flat", (target,)))
-    return heap.alloc(UCtc("oneof", (target,)))
-
-
-def _ctc_parts(r: Rule, locs: tuple[Loc, ...]) -> tuple[tuple[Loc, ...], UHeap]:
-    heap = r.heap
-    parts = []
-    for l in locs:
-        p, heap = _as_ctc_loc(r, heap, l)
-        parts.append(p)
-    return tuple(parts), heap
-
-
-def _h_arrow(r: Rule) -> list[Outcome]:
-    if not r.args:
-        return [r.blame("needs at least a range contract")]
-    parts, heap = _ctc_parts(r, r.args)
-    return [r.value(UCtc("fun", parts), heap)]
-
-
-def _h_arrow_d(r: Rule) -> list[Outcome]:
-    if not r.args:
-        return [r.blame("needs domains and a range maker")]
-    doms, heap = _ctc_parts(r, r.args[:-1])
-    target, _ = heap.deref(r.args[-1])
-    return [r.value(UCtc("dep", doms + (target,)), heap)]
-
-
-def _h_ctc_nary(kind: str) -> Callable[[Rule], list[Outcome]]:
-    def handler(r: Rule) -> list[Outcome]:
-        parts, heap = _ctc_parts(r, r.args)
-        return [r.value(UCtc(kind, parts), heap)]
-
-    return handler
-
-
-def _h_one_of(r: Rule) -> list[Outcome]:
-    return [r.value(UCtc("oneof", r.args))]
-
-
-def _h_rec_ctc(r: Rule) -> list[Outcome]:
-    target, _ = r.deref(r.args[0])
-    return [r.value(UCtc("rec", (target,)))]
-
-
-def _h_cmp_ctc(op: str) -> Callable[[Rule], list[Outcome]]:
-    """``(=/c n)`` etc. — a flat contract whose predicate is synthesised
-    as ``(λ (x) (if (real? x) (op x n) #f))`` over primitive locations,
-    so the untyped machine can branch through it like any predicate."""
-
-    def handler(r: Rule) -> list[Outcome]:
-        bound, _ = r.deref(r.args[0])
-        prim = {"=": "=", "<": "<", ">": ">", "<=": "<=", ">=": ">="}[op]
-        body = UIf(
-            r.app(r.prim("real?"), UVar(".x")),
-            r.app(r.prim(prim), UVar(".x"), r.loc_expr(bound)),
-            Quote(False),
-        )
-        heap = r.heap
-        pred, heap = heap.alloc(
-            UClos(ULam((".x",), body, name=f"{op}/c"), _empty_env())
-        )
-        return [r.value(UCtc("flat", (pred,)), heap)]
-
-    return handler
-
-
-def _empty_env():
-    from .machine import MEnv
-
-    return MEnv({})
-
-
-def _h_struct_ctc(r: Rule) -> list[Outcome]:
-    if not r.args:
-        return [r.blame("needs a struct constructor")]
-    _, ctor = r.deref(r.args[0])
-    if not isinstance(ctor, UStructCtor):
-        return [r.blame(f"expected struct constructor, got {ctor!r}")]
-    if len(r.args) - 1 != len(ctor.type.fields):
-        return [r.blame(f"{ctor.type.name} has {len(ctor.type.fields)} fields")]
-    parts, heap = _ctc_parts(r, r.args[1:])
-    return [r.value(UCtc("struct", parts, stype=ctor.type), heap)]
-
-
-def _h_flat_ctc_p(r: Rule) -> list[Outcome]:
-    _, s = r.deref(r.args[0])
-    return [r.boolean(isinstance(s, UCtc) and s.kind in ("flat", "oneof"))]
 
 
 # ---------------------------------------------------------------------------
@@ -1437,100 +775,89 @@ def _struct_rule(r: Rule, role: str, stype, index: int) -> list[Outcome]:
 
 
 # ---------------------------------------------------------------------------
-# Dispatch
+# Dispatch — generated from the registry
 # ---------------------------------------------------------------------------
 
-_HANDLERS: dict[str, Callable[[Rule], list[Outcome]]] = {
-    "+": _h_arith("+"),
-    "-": _h_arith("-"),
-    "*": _h_arith("*"),
-    "/": _h_slash,
-    "quotient": _h_divlike("div", constrain=True),
-    "modulo": _h_divlike("mod", constrain=True),
-    "remainder": _h_divlike("mod", constrain=False),
-    "add1": _h_add1,
-    "sub1": _h_sub1,
-    "abs": _h_abs,
-    "min": _h_minmax("min"),
-    "max": _h_minmax("max"),
-    "expt": _h_generic(NUMBER_TAGS, NUMBER_TAGS, "expected number"),
-    "sqrt": _h_generic(NUMBER_TAGS, NUMBER_TAGS, "expected number"),
-    "exact->inexact": _h_generic(NUMBER_TAGS, NUMBER_TAGS, "expected number"),
-    "=": _h_compare("="),
-    "<": _h_compare("<"),
-    "<=": _h_compare("<="),
-    ">": _h_swapped(_h_compare("<")),
-    ">=": _h_swapped(_h_compare("<=")),
-    "zero?": _h_sign_pred(lambda: PZero()),
-    "positive?": _h_sign_pred(lambda: PNot(PLe(HConst(0)))),
-    "negative?": _h_sign_pred(lambda: PLt(HConst(0))),
-    "even?": _h_parity(True),
-    "odd?": _h_parity(False),
-    "number?": _h_tag_pred(NUMBER_TAGS),
-    "real?": _h_tag_pred(REAL_TAGS),
-    "rational?": _h_tag_pred(REAL_TAGS),
-    "integer?": _h_tag_pred(frozenset({TAG_INTEGER})),
-    "exact-integer?": _h_tag_pred(frozenset({TAG_INTEGER})),
-    "exact-nonnegative-integer?": _h_nonneg_int,
-    "exact?": _h_tag_pred(frozenset({TAG_INTEGER, TAG_RATREAL})),
-    "boolean?": _h_tag_pred(frozenset({TAG_BOOLEAN})),
-    "symbol?": _h_tag_pred(frozenset({TAG_SYMBOL})),
-    "string?": _h_tag_pred(frozenset({TAG_STRING})),
-    "pair?": _h_tag_pred(frozenset({TAG_PAIR}), _mat_pair),
-    "null?": _h_tag_pred(frozenset({TAG_NULL}), _mat_null),
-    "empty?": _h_tag_pred(frozenset({TAG_NULL}), _mat_null),
-    "box?": _h_tag_pred(frozenset({TAG_BOX}), _mat_box),
-    "procedure?": _h_tag_pred(frozenset({TAG_PROCEDURE})),
-    "not": _h_not,
-    "equal?": _h_equal(identity_structured=False),
-    "eqv?": _h_equal(identity_structured=True),
-    "eq?": _h_equal(identity_structured=True),
-    "void": _h_void,
-    "error": _h_error,
-    "cons": _h_cons,
-    "car": _h_pair_sel("car"),
-    "cdr": _h_pair_sel("cdr"),
-    "first": _h_pair_sel("car"),
-    "rest": _h_pair_sel("cdr"),
-    "list": _h_list,
-    "length": _h_length,
-    "append": _h_append,
-    "reverse": _h_reverse,
-    "list?": _h_list_p,
-    "member": _h_member,
-    "map": _h_map,
-    "filter": _h_filter,
-    "foldl": _h_foldl,
-    "foldr": _h_foldr,
-    "andmap": _h_andmap,
-    "ormap": _h_ormap,
-    "string-length": _h_generic(frozenset({TAG_STRING}),
-                                frozenset({TAG_INTEGER}), "expected string"),
-    "string-append": _h_generic(frozenset({TAG_STRING}),
-                                frozenset({TAG_STRING}), "expected string"),
-    "string=?": _h_generic(frozenset({TAG_STRING}),
-                           frozenset({TAG_BOOLEAN}), "expected string"),
-    "box": _h_box,
-    "unbox": _h_unbox,
-    "set-box!": _h_set_box,
-    "->": _h_arrow,
-    "make->d": _h_arrow_d,
-    "and/c": _h_ctc_nary("and"),
-    "or/c": _h_ctc_nary("or"),
-    "not/c": _h_ctc_nary("not"),
-    "cons/c": _h_ctc_nary("cons"),
-    "listof": _h_ctc_nary("listof"),
-    "list/c": _h_ctc_nary("list"),
-    "one-of/c": _h_one_of,
-    "=/c": _h_cmp_ctc("="),
-    "</c": _h_cmp_ctc("<"),
-    ">/c": _h_cmp_ctc(">"),
-    "<=/c": _h_cmp_ctc("<="),
-    ">=/c": _h_cmp_ctc(">="),
-    "make-rec-contract": _h_rec_ctc,
-    "struct/c": _h_struct_ctc,
-    "flat-contract?": _h_flat_ctc_p,
-}
+
+def _refine_handler(ref) -> Callable[[Rule], list[Outcome]]:
+    """Instantiate the refinement-template interpreter a declaration
+    names."""
+    if ref.kind == "arith":
+        return _h_arith(ref.op)
+    if ref.kind == "offset":
+        return _h_offset(ref.op)
+    if ref.kind == "divlike":
+        return _h_divlike(ref.op, constrain=ref.constrain)
+    if ref.kind == "slash":
+        return _h_slash
+    if ref.kind == "compare":
+        return _h_compare(ref.op)
+    if ref.kind == "swap":
+        return _h_swapped(ref.op)
+    if ref.kind == "sign":
+        return _h_sign_pred(ref.pred)
+    raise ValueError(f"unknown refinement template {ref.kind!r}")
+
+
+def _synth_handler(spec) -> Callable[[Rule], list[Outcome]]:
+    """Wrap a synthesis rule with the concrete fast path (unless the
+    declaration opted out — higher-order synthesis rules must not
+    delegate: the δ context has no apply callback)."""
+    if not spec.delegate_concrete:
+        return spec.synth
+    synth = spec.synth
+
+    def handler(r: Rule) -> list[Outcome]:
+        vals = r.all_concrete()
+        if vals is not None:
+            return r.delegate(vals)
+        return synth(r)
+
+    return handler
+
+
+def _arity_gate(arity, inner) -> Callable[[Rule], list[Outcome]]:
+    def handler(r: Rule) -> list[Outcome]:
+        msg = arity.blame(len(r.args))
+        if msg is not None:
+            return [r.blame(msg)]
+        return inner(r)
+
+    return handler
+
+
+_DISPATCH: Optional[dict[str, Callable[[Rule], list[Outcome]]]] = None
+
+
+def _dispatch() -> dict[str, Callable[[Rule], list[Outcome]]]:
+    """name → handler, derived from every registry declaration.  Built
+    lazily (and memoised): the registry package itself imports ``scv``
+    siblings while initialising, so the table cannot be built at import
+    time."""
+    global _DISPATCH
+    if _DISPATCH is None:
+        from ..prims.rules import MATERIALIZERS
+
+        table: dict[str, Callable[[Rule], list[Outcome]]] = {}
+        for spec in REGISTRY.values():
+            if spec.rule is not None:
+                h = spec.rule  # custom rules manage their own delegation
+            elif spec.pred_tags is not None:
+                h = _h_tag_pred(spec.pred_tags,
+                                MATERIALIZERS.get(spec.materialize))
+            elif spec.synth is not None:
+                h = _synth_handler(spec)
+            elif spec.refine is not None:
+                h = _refine_handler(spec.refine)
+            elif spec.sig.result is not None:
+                h = _h_generic(spec.sig.want, spec.sig.result, spec.sig.desc)
+            else:
+                continue  # pragma: no cover - lint enforces coverage
+            if spec.check_arity:
+                h = _arity_gate(spec.arity, h)
+            table[spec.name] = h
+        _DISPATCH = table
+    return _DISPATCH
 
 
 def delta_u(machine, heap: UHeap, name: str, args: tuple[Loc, ...],
@@ -1543,10 +870,10 @@ def delta_u(machine, heap: UHeap, name: str, args: tuple[Loc, ...],
         if len(args) != 1:
             return [r.blame("expected 1 argument")]
         return _struct_rule(r, role, stype, index)
-    handler = _HANDLERS.get(name)
+    handler = _dispatch().get(name)
     if handler is not None:
         return handler(r)
-    if name in _PRIMS:
+    if name in REGISTRY:  # pragma: no cover - every declaration has a handler
         vals = r.all_concrete()
         if vals is not None:
             return r.delegate(vals)

@@ -45,6 +45,7 @@ from ..lang.ast import (
 )
 from ..lang.prims import base_primitives
 from ..lang.values import NIL, StructType
+from ..prims import EXTENDED_PRIMS
 from .heap import (
     TAG_PROCEDURE,
     UConc,
@@ -102,6 +103,31 @@ def collect_struct_types(program: Program) -> dict[str, StructType]:
     }
 
 
+def uses_extended_prims(program: Program) -> bool:
+    """Does any module mention the extended string/vector family?  The
+    base frame allocates g-locs in registry order, so binding the
+    extended names unconditionally would shift every later allocation —
+    the family (and ``TAG_VECTOR``) is enabled only for programs that
+    name it, keeping all other programs' heaps and reports
+    byte-identical."""
+    def mentions(e: Optional[UExpr]) -> bool:
+        if e is None:
+            return False
+        return any(isinstance(sub, UVar) and sub.name in EXTENDED_PRIMS
+                   for sub in subexprs_u(e))
+
+    if mentions(program.main):
+        return True
+    for m in program.modules:
+        if any(mentions(e) for _, e in m.definitions):
+            return True
+        if any(mentions(ctc) for _, ctc in m.opaques):
+            return True
+        if any(mentions(p.contract) for p in m.provides):
+            return True
+    return False
+
+
 def build_base_heap(machine: SMachine) -> tuple[MEnv, UHeap]:
     """The global frame: primitives, contract constants, struct bindings."""
     heap = UHeap.empty()
@@ -113,6 +139,8 @@ def build_base_heap(machine: SMachine) -> tuple[MEnv, UHeap]:
         frame[name] = l
 
     for name in base_primitives():
+        if name in EXTENDED_PRIMS and not machine.extended_prims:
+            continue
         bind(name, UPrim(name))
     bind("any/c", UCtc("any"))
     nil_loc, heap = heap.alloc(UConc(NIL), prefix="g")

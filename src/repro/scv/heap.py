@@ -25,10 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from fractions import Fraction
+
 from ..core.heap import Pred, fresh_loc
 from ..core.syntax import Loc
 from ..lang.ast import ULam
-from ..lang.values import StructType
+from ..lang.sexp import Symbol
+from ..lang.values import Nil, StructType, Void
 
 # ---------------------------------------------------------------------------
 # Tags
@@ -45,6 +48,11 @@ TAG_NULL = "null"
 TAG_PROCEDURE = "procedure"
 TAG_BOX = "box"
 TAG_VOID = "void"
+# Extension tag for the gated vector family.  Deliberately NOT in
+# BASE_TAGS: the sorted tag set of an unrestricted opaque is embedded in
+# committed report bytes, so the tag universe only grows per-program
+# (``SMachine(extended_prims=True)``), never globally.
+TAG_VECTOR = "vector"
 
 BASE_TAGS = frozenset(
     {
@@ -140,6 +148,18 @@ class UBoxS(UStoreable):
 
     def __repr__(self) -> str:
         return f"(box {self.content.name})"
+
+
+@dataclass(frozen=True)
+class UVectorS(UStoreable):
+    """A vector; each field is a location (``vector-set!`` = heap
+    update of a rebuilt field tuple)."""
+
+    fields: tuple[Loc, ...]
+
+    def __repr__(self) -> str:
+        inner = " ".join(f.name for f in self.fields)
+        return f"(vector{' ' if inner else ''}{inner})"
 
 
 # Symbolic environments map variable names to locations; immutable.
@@ -299,6 +319,52 @@ class UCase(UStoreable):
             for k, v in self.mapping
         )
         return f"ucase/{self.arity} {rows}"
+
+
+# ---------------------------------------------------------------------------
+# Primary tags of concrete values and storeables
+# ---------------------------------------------------------------------------
+
+
+def datum_tag(v: object) -> Optional[str]:
+    """Primary tag of a concrete immediate."""
+    if isinstance(v, bool):
+        return TAG_BOOLEAN
+    if isinstance(v, int):
+        return TAG_INTEGER
+    if isinstance(v, Fraction):
+        return TAG_INTEGER if v.denominator == 1 else TAG_RATREAL
+    if isinstance(v, float):
+        return TAG_RATREAL
+    if isinstance(v, complex):
+        return TAG_NONREAL
+    if isinstance(v, str):
+        return TAG_STRING
+    if isinstance(v, Symbol):
+        return TAG_SYMBOL
+    if isinstance(v, Nil):
+        return TAG_NULL
+    if isinstance(v, Void):
+        return TAG_VOID
+    return None
+
+
+def storeable_tag(s: UStoreable) -> Optional[str]:
+    """Primary tag of a non-opaque storeable (None: no tag, e.g. a
+    contract value — every type predicate answers ``#f`` on it)."""
+    if isinstance(s, UConc):
+        return datum_tag(s.value)
+    if isinstance(s, UPair):
+        return TAG_PAIR
+    if isinstance(s, UStruct):
+        return struct_tag(s.type.name)
+    if isinstance(s, UBoxS):
+        return TAG_BOX
+    if isinstance(s, UVectorS):
+        return TAG_VECTOR
+    if isinstance(s, (UClos, UPrim, UGuard, UStructCtor, UCase)):
+        return TAG_PROCEDURE
+    return None
 
 
 # ---------------------------------------------------------------------------

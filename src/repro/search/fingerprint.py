@@ -258,6 +258,8 @@ class _ScvRun(_Base):
                     tuple(self.loc(f) for f in s.fields))
         if isinstance(s, sheap.UBoxS):
             return ("box", self.loc(s.content))
+        if isinstance(s, sheap.UVectorS):
+            return ("vec", tuple(self.loc(f) for f in s.fields))
         if isinstance(s, sheap.UAlias):
             return ("alias", self.loc(s.target))
         if isinstance(s, sheap.UClos):

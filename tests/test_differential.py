@@ -409,3 +409,157 @@ class TestOpenPrograms:
         # The populations must both be non-trivially exercised.
         assert cexs > 5
         assert safes > 5
+
+
+# ---------------------------------------------------------------------------
+# Extended-family population — sort-directed strings/vectors grammar
+# ---------------------------------------------------------------------------
+
+_EXT_STRINGS = ('""', '"ab"', '"hello"')
+
+
+def gen_ext(rng: random.Random, depth: int, sort: str = "int"):
+    """A random *closed* expression of the requested sort over the
+    registry's extended string/vector family (plus enough integer
+    arithmetic to build indices).  The population's job is to pin the
+    registry's concrete delegation and the symbolic rules to the same
+    partial-primitive behaviour: out-of-range ``substring``/
+    ``vector-ref`` indices and wrong-tag arguments are generated
+    freely, because reachable preconditions are the fault class."""
+    if sort == "int":
+        if depth <= 0:
+            return ("num", rng.randint(0, 3))
+        kind = rng.choice(
+            ("num", "num", "add1", "+", "strlen", "veclen", "vecref")
+        )
+        if kind == "num":
+            return ("num", rng.randint(0, 3))
+        if kind == "add1":
+            return ("add1", gen_ext(rng, depth - 1, "int"))
+        if kind == "+":
+            return ("+", gen_ext(rng, depth - 1, "int"),
+                    gen_ext(rng, depth - 1, "int"))
+        if kind == "strlen":
+            return ("strlen", gen_ext(rng, depth - 1, "str"))
+        if kind == "veclen":
+            return ("veclen", gen_ext(rng, depth - 1, "vec"))
+        return ("vecref", gen_ext(rng, depth - 1, "vec"),
+                gen_ext(rng, depth - 1, "int"))
+    if sort == "str":
+        if depth <= 0:
+            return ("str", rng.choice(_EXT_STRINGS))
+        kind = rng.choice(("str", "sappend", "substr"))
+        if kind == "str":
+            return ("str", rng.choice(_EXT_STRINGS))
+        if kind == "sappend":
+            return ("sappend", gen_ext(rng, depth - 1, "str"),
+                    gen_ext(rng, depth - 1, "str"))
+        return ("substr", gen_ext(rng, depth - 1, "str"),
+                gen_ext(rng, depth - 1, "int"),
+                gen_ext(rng, depth - 1, "int"))
+    assert sort == "vec"
+    n = rng.randint(0, 3)
+    return ("vec", tuple(gen_ext(rng, depth - 1, "int") for _ in range(n)))
+
+
+def render_ext(t) -> str:
+    kind = t[0]
+    if kind == "num":
+        return str(t[1])
+    if kind == "str":
+        return t[1]
+    if kind == "add1":
+        return f"(add1 {render_ext(t[1])})"
+    if kind == "+":
+        return f"(+ {render_ext(t[1])} {render_ext(t[2])})"
+    if kind == "strlen":
+        return f"(string-length {render_ext(t[1])})"
+    if kind == "veclen":
+        return f"(vector-length {render_ext(t[1])})"
+    if kind == "vecref":
+        return f"(vector-ref {render_ext(t[1])} {render_ext(t[2])})"
+    if kind == "sappend":
+        return f"(string-append {render_ext(t[1])} {render_ext(t[2])})"
+    if kind == "substr":
+        return (
+            f"(substring {render_ext(t[1])} {render_ext(t[2])}"
+            f" {render_ext(t[3])})"
+        )
+    if kind == "vec":
+        inner = " ".join(render_ext(c) for c in t[1])
+        return f"(vector{' ' if inner else ''}{inner})"
+    raise ValueError(f"unrenderable {t!r}")
+
+
+def disagreement_ext(source: str):
+    """``disagreement`` against the scv backend (the only engine with
+    string/vector sorts); closed programs, so symbolic execution must
+    degenerate to the concrete run."""
+    conc = conc_verdict(source)
+    if conc[0] == "skip":
+        return None
+    r = verify_source(source, backend="scv", config=CFG)
+    if conc[0] == "error":
+        if r.status != "counterexample":
+            return f"conc blames {conc[1]} but scv says {r.status}"
+        cex = r.counterexample
+        if cex.err_label != conc[1]:
+            return f"conc blames {conc[1]} but scv blames {cex.err_label}"
+        if cex.validated_conc is not True:
+            return (
+                f"scv counterexample failed the surface oracle "
+                f"(conc={cex.validated_conc})"
+            )
+        return None
+    if r.status != "safe":
+        return f"conc produces a value but scv says {r.status}: {r.detail}"
+    return None
+
+
+def compile_divergence_ext(source: str):
+    """The compile oracle for the extended family: the bytecode
+    executor's inline-dispatch set comes from the registry, so compiled
+    rows over the new primitives must match the step machine's."""
+    ri = verify_source(
+        source, backend="scv", config=replace(CFG, compile=False)
+    )
+    rc = verify_source(
+        source, backend="scv", config=replace(CFG, compile=True)
+    )
+    if STATUS_TIMEOUT in (ri.status, rc.status):
+        return None
+    si, sc = _stable(ri), _stable(rc)
+    if si == sc:
+        return None
+    keys = sorted(k for k in si if si[k] != sc[k])
+    return (
+        "compiled row diverges from interpreted on "
+        + ", ".join(f"{k}: {si[k]!r} != {sc[k]!r}" for k in keys)
+    )
+
+
+N_EXT = max(10, N_CLOSED // 2)
+
+
+class TestExtendedFamilyPrograms:
+    def test_conc_and_scv_agree_on_random_string_vector_programs(self):
+        rng = random.Random(SEED + 2)
+        faults = values = 0
+        for _ in range(N_EXT):
+            sort = rng.choice(("int", "str"))
+            source = render_ext(gen_ext(rng, depth=4, sort=sort))
+            if conc_verdict(source)[0] == "error":
+                faults += 1
+            else:
+                values += 1
+            why = disagreement_ext(source)
+            if why is not None:
+                pytest.fail(f"[extended] backends disagree on\n  {source}\n"
+                            f"disagreement: {why}")
+            why = compile_divergence_ext(source)
+            if why is not None:
+                pytest.fail(f"[extended] compiled executor diverges on\n"
+                            f"  {source}\ndivergence: {why}")
+        # Both verdicts must be non-trivially exercised.
+        assert faults > 5
+        assert values > 5
